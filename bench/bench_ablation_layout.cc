@@ -1,0 +1,84 @@
+// Ablation: NSM (row-major) vs. DSM (column-major) for materialized
+// intermediates (Section IV, "DSM vs. NSM": "for intermediates, a
+// row-major layout was shown to be optimal ... for join and aggregate hash
+// tables"). Micro-benchmark of the hash-table comparison pattern: N
+// resident tuples of K attributes are probed in random order and all K
+// attributes of each probed tuple are compared, either from a row-major
+// block (one cache line per tuple) or from K separate column arrays (K
+// scattered accesses per tuple).
+
+#include <benchmark/benchmark.h>
+
+#include "ssagg/ssagg.h"
+
+namespace ssagg {
+namespace {
+
+constexpr idx_t kTuples = 1 << 20;
+constexpr idx_t kColumns = 4;  // 4 x int64 attributes
+constexpr idx_t kProbes = 1 << 20;
+
+std::vector<idx_t> MakeProbeOrder() {
+  std::vector<idx_t> order(kProbes);
+  RandomEngine rng(7);
+  for (auto &p : order) {
+    p = rng.NextRange(kTuples);
+  }
+  return order;
+}
+
+void BM_RowMajorCompare(benchmark::State &state) {
+  // Rows of kColumns contiguous int64 values (the paper's layout).
+  std::vector<int64_t> rows(kTuples * kColumns);
+  for (idx_t i = 0; i < kTuples; i++) {
+    for (idx_t c = 0; c < kColumns; c++) {
+      rows[i * kColumns + c] = static_cast<int64_t>(i * 31 + c);
+    }
+  }
+  auto order = MakeProbeOrder();
+  for (auto _ : state) {
+    int64_t matches = 0;
+    for (idx_t p : order) {
+      const int64_t *row = rows.data() + p * kColumns;
+      bool match = true;
+      for (idx_t c = 0; c < kColumns; c++) {
+        match &= row[c] == static_cast<int64_t>(p * 31 + c);
+      }
+      matches += match;
+    }
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(state.iterations() * kProbes);
+}
+BENCHMARK(BM_RowMajorCompare);
+
+void BM_ColumnMajorCompare(benchmark::State &state) {
+  // One array per attribute (DSM): each comparison touches kColumns
+  // scattered cache lines.
+  std::vector<std::vector<int64_t>> columns(kColumns,
+                                            std::vector<int64_t>(kTuples));
+  for (idx_t c = 0; c < kColumns; c++) {
+    for (idx_t i = 0; i < kTuples; i++) {
+      columns[c][i] = static_cast<int64_t>(i * 31 + c);
+    }
+  }
+  auto order = MakeProbeOrder();
+  for (auto _ : state) {
+    int64_t matches = 0;
+    for (idx_t p : order) {
+      bool match = true;
+      for (idx_t c = 0; c < kColumns; c++) {
+        match &= columns[c][p] == static_cast<int64_t>(p * 31 + c);
+      }
+      matches += match;
+    }
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(state.iterations() * kProbes);
+}
+BENCHMARK(BM_ColumnMajorCompare);
+
+}  // namespace
+}  // namespace ssagg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Ablation: the phase-1 reset threshold (Section V, "RAM-Oblivious": "We
+// reset the hash table once it is two-thirds full. This threshold was
+// experimentally determined."). A low threshold resets too often (poor
+// pre-aggregation, more duplicated groups, more materialized data); a high
+// threshold probes an overfull table (collision storms). Run on a skewed /
+// repetitive distribution where pre-aggregation matters: grouping 6
+// (l_partkey, SF-scaled key domain) at a scale where groups >> table.
+
+#include <cstdio>
+
+#include "harness_util.h"
+
+using namespace ssagg;         // NOLINT(build/namespaces)
+using namespace ssagg::bench;  // NOLINT(build/namespaces)
+
+int main() {
+  BenchOptions options = BenchOptions::FromEnv();
+  idx_t sf = std::min<idx_t>(options.scale_cap, 64);
+  tpch::LineitemGenerator gen(static_cast<double>(sf));
+  const auto &grouping = tpch::TableIGroupings()[5];  // g6: l_partkey (each key
+  // recurs at intervals far larger than the table: the dup-factor regime)
+  auto query = tpch::BuildGroupingQuery(grouping, /*wide=*/false);
+
+  std::printf("Ablation: phase-1 reset fill ratio (thin grouping 6, SF "
+              "%llu, %llu rows, table capacity %llu)\n\n",
+              static_cast<unsigned long long>(sf),
+              static_cast<unsigned long long>(gen.RowCount()),
+              static_cast<unsigned long long>(options.phase1_capacity));
+  std::vector<int> widths = {7, 8, 8, 14, 10, 13};
+  PrintRule(widths);
+  PrintRow({"fill", "time s", "resets", "materialized", "dup fact",
+            "probes/row"},
+           widths);
+  PrintRule(widths);
+  for (double fill : {0.25, 0.5, 2.0 / 3.0, 0.9, 0.98}) {
+    BufferManager bm(options.temp_dir, options.memory_limit);
+    TaskExecutor executor(options.threads);
+    auto source = gen.MakeSource(query.projection);
+    CountingCollector collector;
+    HashAggregateConfig config = options.AggConfig();
+    config.reset_fill_ratio = fill;
+    auto stats_res = RunGroupedAggregation(bm, *source, query.group_columns,
+                                           query.aggregates, collector,
+                                           executor, config);
+    if (!stats_res.ok()) {
+      std::printf("fill %.2f failed: %s\n", fill,
+                  stats_res.status().ToString().c_str());
+      continue;
+    }
+    const auto &stats = stats_res.value();
+    char fill_s[16], time_s[16], dup[16], probes[16];
+    std::snprintf(fill_s, sizeof(fill_s), "%.2f", fill);
+    std::snprintf(time_s, sizeof(time_s), "%.3f",
+                  stats.phase1_seconds + stats.phase2_seconds);
+    std::snprintf(dup, sizeof(dup), "%.2f",
+                  static_cast<double>(stats.materialized_rows) /
+                      std::max<idx_t>(stats.unique_groups, 1));
+    std::snprintf(probes, sizeof(probes), "%.2f",
+                  static_cast<double>(stats.ht.probe_steps) / gen.RowCount());
+    PrintRow({fill_s, time_s, std::to_string(stats.phase1_resets),
+              std::to_string(stats.materialized_rows), dup, probes},
+             widths);
+    std::fflush(stdout);
+  }
+  PrintRule(widths);
+  std::printf("\nlow fill: frequent resets duplicate groups "
+              "(materialized rows grow); high fill:\nprobe chains explode. "
+              "2/3 balances both — the paper's experimentally determined "
+              "choice.\n");
+  return 0;
+}

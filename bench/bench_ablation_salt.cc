@@ -1,0 +1,66 @@
+// Ablation: the 16-bit salt in the hash-table entries (Section V,
+// "Collision Resolution"). With the salt, almost all linear-probing
+// collisions are resolved without following the pointer and comparing
+// group keys; without it, every occupied slot on the probe path costs a
+// full key comparison. Reported: wall time, probe steps, key comparisons,
+// and wasted comparisons, on a high-cardinality aggregation with a nearly
+// full fixed-size table (the regime where collisions dominate).
+
+#include <cstdio>
+
+#include "harness_util.h"
+
+using namespace ssagg;         // NOLINT(build/namespaces)
+using namespace ssagg::bench;  // NOLINT(build/namespaces)
+
+int main() {
+  BenchOptions options = BenchOptions::FromEnv();
+  idx_t sf = std::min<idx_t>(options.scale_cap, 32);
+  tpch::LineitemGenerator gen(static_cast<double>(sf));
+  const auto &grouping = tpch::TableIGroupings()[12];  // all-unique keys
+  auto query = tpch::BuildGroupingQuery(grouping, /*wide=*/false);
+
+  std::printf("Ablation: entry salt on/off (thin grouping 13, SF %llu, "
+              "%llu rows)\n\n",
+              static_cast<unsigned long long>(sf),
+              static_cast<unsigned long long>(gen.RowCount()));
+  std::vector<int> widths = {9, 8, 13, 13, 16, 13};
+  PrintRule(widths);
+  PrintRow({"salt", "time s", "probe steps", "key compares", "wasted "
+            "compares", "per row"},
+           widths);
+  PrintRule(widths);
+  for (bool use_salt : {true, false}) {
+    BufferManager bm(options.temp_dir, options.memory_limit);
+    TaskExecutor executor(options.threads);
+    auto source = gen.MakeSource(query.projection);
+    CountingCollector collector;
+    HashAggregateConfig config = options.AggConfig();
+    config.use_salt = use_salt;
+    auto stats_res = RunGroupedAggregation(bm, *source, query.group_columns,
+                                           query.aggregates, collector,
+                                           executor, config);
+    if (!stats_res.ok()) {
+      std::printf("failed: %s\n", stats_res.status().ToString().c_str());
+      return 1;
+    }
+    const auto &stats = stats_res.value();
+    char time_s[16], per_row[16];
+    std::snprintf(time_s, sizeof(time_s), "%.3f",
+                  stats.phase1_seconds + stats.phase2_seconds);
+    std::snprintf(per_row, sizeof(per_row), "%.3f",
+                  static_cast<double>(stats.ht.key_compare_misses) /
+                      gen.RowCount());
+    PrintRow({use_salt ? "on" : "off", time_s,
+              std::to_string(stats.ht.probe_steps),
+              std::to_string(stats.ht.key_compares),
+              std::to_string(stats.ht.key_compare_misses), per_row},
+             widths);
+  }
+  PrintRule(widths);
+  std::printf("\n'wasted compares' = key comparisons that did not match. "
+              "The salt filters collisions\nwith a 16-bit check before "
+              "touching the tuple, cutting wasted comparisons by\n~2^16x "
+              "in expectation (Section V).\n");
+  return 0;
+}

@@ -1,0 +1,175 @@
+// Supports Figure 2 / Section IV: the spillable page layout. Measures:
+//
+//   1. in-memory append / scan throughput of the row layout (with strings);
+//   2. spill + reload: bytes written vs. logical bytes (the layout spills
+//      raw pages, so the ratio is ~1 and NO serialization happens), and the
+//      cost of the lazy pointer recomputation on reload;
+//   3. the same data pushed through the classic serialize/deserialize
+//      temporary-file path (RunWriter/RunReader) for comparison — this is
+//      the overhead the layout exists to avoid.
+
+#include <chrono>
+#include <cstdio>
+
+#include "harness_util.h"
+#include "sort/row_serializer.h"
+
+using namespace ssagg;         // NOLINT(build/namespaces)
+using namespace ssagg::bench;  // NOLINT(build/namespaces)
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void FillChunk(DataChunk &chunk, idx_t start, idx_t count) {
+  for (idx_t i = 0; i < count; i++) {
+    idx_t row = start + i;
+    chunk.column(0).SetValue<int64_t>(i, static_cast<int64_t>(row));
+    chunk.column(1).SetValue<double>(i, row * 0.5);
+    chunk.column(2).SetString(i, "string_payload_row_" + std::to_string(row));
+  }
+  chunk.SetCount(count);
+}
+
+}  // namespace
+
+int main() {
+  BenchOptions options = BenchOptions::FromEnv();
+  constexpr idx_t kRows = 1 << 20;  // ~1M rows, ~48 MiB of row data
+
+  std::vector<LogicalTypeId> types = {LogicalTypeId::kInt64,
+                                      LogicalTypeId::kDouble,
+                                      LogicalTypeId::kVarchar};
+  TupleDataLayout layout;
+  layout.Initialize(types);
+  DataChunk chunk(types);
+
+  std::printf("Figure 2 / Section IV: spillable page layout "
+              "(%llu rows, row width %llu B + string heap)\n\n",
+              static_cast<unsigned long long>(kRows),
+              static_cast<unsigned long long>(layout.RowWidth()));
+
+  // ---- 1. in-memory append + scan ----------------------------------------
+  {
+    BufferManager bm(options.temp_dir, 4096ULL << 20);
+    TupleDataCollection data(bm, layout);
+    TupleDataAppendState append;
+    auto t0 = std::chrono::steady_clock::now();
+    for (idx_t start = 0; start < kRows; start += kVectorSize) {
+      FillChunk(chunk, start, kVectorSize);
+      (void)data.AppendRows(append, chunk, nullptr, kVectorSize, nullptr);
+    }
+    double append_s = Seconds(t0);
+    append.Release();
+
+    TupleDataScanState scan;
+    data.InitScan(scan);
+    DataChunk out(types);
+    t0 = std::chrono::steady_clock::now();
+    idx_t seen = 0;
+    while (true) {
+      auto more = data.Scan(scan, out);
+      if (!more.ok() || !more.value()) {
+        break;
+      }
+      seen += out.size();
+    }
+    double scan_s = Seconds(t0);
+    std::printf("in-memory   append  %7.1f M rows/s   scan  %7.1f M rows/s "
+                " (%llu rows, %s)\n",
+                kRows / append_s / 1e6, seen / scan_s / 1e6,
+                static_cast<unsigned long long>(seen),
+                FormatBytes(data.SizeInBytes()).c_str());
+  }
+
+  // ---- 2. spill + reload through the buffer manager ----------------------
+  {
+    BufferManager bm(options.temp_dir, 16ULL << 20);  // force spilling
+    TupleDataCollection data(bm, layout);
+    TupleDataAppendState append;
+    auto t0 = std::chrono::steady_clock::now();
+    for (idx_t start = 0; start < kRows; start += kVectorSize) {
+      FillChunk(chunk, start, kVectorSize);
+      (void)data.AppendRows(append, chunk, nullptr, kVectorSize, nullptr);
+      append.Release();  // pages spill as the pool fills
+    }
+    double append_s = Seconds(t0);
+    auto snap = bm.Snapshot();
+    double logical_mb = static_cast<double>(data.SizeInBytes()) / (1 << 20);
+    double written_mb =
+        static_cast<double>(snap.temp_writes) * kPageSize / (1 << 20);
+
+    TupleDataScanState scan;
+    data.InitScan(scan);
+    DataChunk out(types);
+    t0 = std::chrono::steady_clock::now();
+    idx_t seen = 0;
+    while (true) {
+      auto more = data.Scan(scan, out);
+      if (!more.ok() || !more.value()) {
+        break;
+      }
+      seen += out.size();
+    }
+    double scan_s = Seconds(t0);
+    std::printf("spilled     append  %7.1f M rows/s   scan  %7.1f M rows/s "
+                " (reload + lazy pointer recompute)\n",
+                kRows / append_s / 1e6, seen / scan_s / 1e6);
+    std::printf("            page bytes written %.1f MiB for %.1f MiB of "
+                "data (x%.2f, no serialization)\n",
+                written_mb, logical_mb, written_mb / logical_mb);
+  }
+
+  // ---- 3. classic serialize/deserialize path for comparison --------------
+  {
+    BufferManager bm(options.temp_dir, 4096ULL << 20);
+    TupleDataCollection data(bm, layout);
+    TupleDataAppendState append;
+    for (idx_t start = 0; start < kRows; start += kVectorSize) {
+      FillChunk(chunk, start, kVectorSize);
+      (void)data.AppendRows(append, chunk, nullptr, kVectorSize, nullptr);
+    }
+    RunWriter writer(layout, options.temp_dir + "/fig2_serialized.tmp");
+    (void)writer.Open();
+    auto t0 = std::chrono::steady_clock::now();
+    TupleDataAppendState visit_state;
+    (void)data.VisitRows(visit_state, [&](data_ptr_t row) {
+      (void)writer.WriteRow(row);
+    });
+    (void)writer.Finish();
+    double ser_s = Seconds(t0);
+    visit_state.Release();
+
+    RunReader reader(layout, options.temp_dir + "/fig2_serialized.tmp",
+                     writer.RowCount());
+    (void)reader.Open();
+    std::vector<data_ptr_t> rows;
+    DataChunk out(types);
+    t0 = std::chrono::steady_clock::now();
+    idx_t seen = 0;
+    while (true) {
+      rows.clear();
+      auto n = reader.ReadBatch(kVectorSize, rows);
+      if (!n.ok() || n.value() == 0) {
+        break;
+      }
+      reader.GatherBatch(rows, out);
+      seen += out.size();
+    }
+    double deser_s = Seconds(t0);
+    (void)reader.Remove();
+    std::printf("serialized  write   %7.1f M rows/s   read  %7.1f M rows/s "
+                " (classic temp-file (de)serialization)\n",
+                kRows / ser_s / 1e6, seen / deser_s / 1e6);
+  }
+
+  std::printf("\nThe spillable layout writes pages verbatim and fixes "
+              "pointers lazily on reload;\nthe serializing path pays a "
+              "per-row encode/decode — the overhead Section IV's\n"
+              "requirement 4 eliminates.\n");
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Reproduces Figure 5: execution times for the THIN variant of groupings
+// 3, 6, and 13 at scale factors 1 through 128 (the paper plots these
+// log-log). One series per system model; 'A' marks aborted queries and 'T'
+// timed-out ones, exactly like the paper's figure annotations.
+
+#include "scaling_figure.h"
+
+int main() {
+  return ssagg::bench::RunScalingFigure(
+      "Figure 5: thin-variant scaling of groupings 3, 6, 13 (SF 1..128)",
+      /*wide=*/false);
+}

@@ -1,0 +1,12 @@
+// Reproduces Figure 6: execution times for the WIDE variant of groupings
+// 3, 6, and 13 at scale factors 1 through 128. Performance degradation
+// starts earlier than in Figure 5 because the ANY_VALUE payload columns
+// multiply the memory pressure.
+
+#include "scaling_figure.h"
+
+int main() {
+  return ssagg::bench::RunScalingFigure(
+      "Figure 6: wide-variant scaling of groupings 3, 6, 13 (SF 1..128)",
+      /*wide=*/true);
+}

@@ -1,0 +1,65 @@
+// Utility: run one grouping query on one system model and print timing and
+// buffer-manager statistics. Handy for exploring the parameter space
+// without running a whole table bench.
+//
+//   bench_single_query [SF] [thin|wide] [grouping 1-13] [du|cl|hy|um]
+//
+// Environment knobs are shared with the other benches (SSAGG_BENCH_*).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "harness_util.h"
+
+using namespace ssagg;         // NOLINT(build/namespaces)
+using namespace ssagg::bench;  // NOLINT(build/namespaces)
+
+int main(int argc, char **argv) {
+  BenchOptions options = BenchOptions::FromEnv();
+  double sf = argc > 1 ? std::atof(argv[1]) : 8;
+  bool wide = argc > 2 && argv[2][0] == 'w';
+  int gid = argc > 3 ? std::atoi(argv[3]) : 13;
+  SystemKind system = SystemKind::kRobust;
+  if (argc > 4) {
+    switch (argv[4][0]) {
+      case 'c':
+        system = SystemKind::kClickHouse;
+        break;
+      case 'h':
+        system = SystemKind::kHyPer;
+        break;
+      case 'u':
+        system = SystemKind::kUmbra;
+        break;
+      default:
+        system = SystemKind::kRobust;
+    }
+  }
+  if (gid < 1 || gid > 13) {
+    std::fprintf(stderr, "grouping must be 1..13\n");
+    return 1;
+  }
+  tpch::LineitemGenerator gen(sf);
+  const auto &grouping = tpch::TableIGroupings()[gid - 1];
+  std::printf("%s | grouping %d (%s) %s | SF %.2f (%llu rows) | "
+              "memory %s, %llu threads\n",
+              SystemName(system), gid, grouping.Name().c_str(),
+              wide ? "wide" : "thin", sf,
+              static_cast<unsigned long long>(gen.RowCount()),
+              FormatBytes(options.memory_limit).c_str(),
+              static_cast<unsigned long long>(options.threads));
+  QueryResult result = RunGroupingQuery(system, gen, grouping, wide, options);
+  std::printf("result: %s s | %llu groups | temp peak %s | evictions "
+              "temp=%llu pers=%llu | temp I/O w=%llu r=%llu\n",
+              result.Cell().c_str(),
+              static_cast<unsigned long long>(result.result_rows),
+              FormatBytes(result.snapshot.temp_file_peak).c_str(),
+              static_cast<unsigned long long>(
+                  result.snapshot.evicted_temporary_count),
+              static_cast<unsigned long long>(
+                  result.snapshot.evicted_persistent_count),
+              static_cast<unsigned long long>(result.snapshot.temp_writes),
+              static_cast<unsigned long long>(result.snapshot.temp_reads));
+  return result.ok() ? 0 : 2;
+}

@@ -1,0 +1,17 @@
+// Reproduces Table II: execution times of the THIN variant of all 13
+// groupings (only the group columns are selected) at scale factors 2, 8,
+// 32, and 128, across the four system models, plus the per-scale-factor
+// geometric mean normalized to the robust system.
+//
+// Expected shape (paper Section VIII, "Thin Groupings"): all systems are
+// comparable while intermediates fit in memory; at the largest scale factor
+// the switch-to-external model falls off a cliff or times out, the
+// in-memory-only model aborts, and the robust system completes everything.
+
+#include "table_matrix.h"
+
+int main() {
+  return ssagg::bench::RunTableMatrix(
+      "Table II: thin groupings (SELECT group columns ... GROUP BY ...)",
+      /*wide=*/false);
+}

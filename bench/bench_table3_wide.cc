@@ -1,0 +1,17 @@
+// Reproduces Table III: execution times of the WIDE variant of all 13
+// groupings (all non-group columns selected via ANY_VALUE) at scale factors
+// 2, 8, 32, and 128, across the four system models.
+//
+// Expected shape (paper Section VIII, "Wide Groupings"): memory pressure is
+// much higher than in Table II, so the in-memory-only model aborts from
+// mid scale factors on, the switch-to-external model degrades sharply and
+// times out, the partition-spilling model survives longer but aborts on the
+// largest groupings, and the robust system completes the whole matrix.
+
+#include "table_matrix.h"
+
+int main() {
+  return ssagg::bench::RunTableMatrix(
+      "Table III: wide groupings (all other columns via ANY_VALUE)",
+      /*wide=*/true);
+}

@@ -1,0 +1,233 @@
+#include "harness_util.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ssagg {
+namespace bench {
+
+namespace {
+idx_t EnvIdx(const char *name, idx_t fallback) {
+  const char *value = std::getenv(name);
+  return value ? static_cast<idx_t>(std::strtoull(value, nullptr, 10))
+               : fallback;
+}
+double EnvDouble(const char *name, double fallback) {
+  const char *value = std::getenv(name);
+  return value ? std::strtod(value, nullptr) : fallback;
+}
+}  // namespace
+
+BenchOptions BenchOptions::FromEnv() {
+  BenchOptions options;
+  options.threads = EnvIdx("SSAGG_BENCH_THREADS", options.threads);
+  options.timeout_seconds =
+      EnvDouble("SSAGG_BENCH_TIMEOUT", options.timeout_seconds);
+  options.memory_limit =
+      EnvIdx("SSAGG_BENCH_MEMORY_MB", options.memory_limit >> 20) << 20;
+  options.scale_cap = EnvIdx("SSAGG_BENCH_SF_CAP", options.scale_cap);
+  options.runs = EnvIdx("SSAGG_BENCH_RUNS", options.runs);
+  if (const char *dir = std::getenv("SSAGG_BENCH_TMPDIR")) {
+    options.temp_dir = dir;
+  }
+  options.radix_bits = EnvIdx("SSAGG_BENCH_RADIX_BITS", options.radix_bits);
+  options.phase1_capacity =
+      EnvIdx("SSAGG_BENCH_PHASE1_CAPACITY", options.phase1_capacity);
+  return options;
+}
+
+const char *SystemName(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kRobust:
+      return "Robust (ours)";
+    case SystemKind::kClickHouse:
+      return "ClickHouse-model";
+    case SystemKind::kHyPer:
+      return "HyPer-model";
+    case SystemKind::kUmbra:
+      return "Umbra-model";
+  }
+  return "?";
+}
+
+const char *SystemShortName(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kRobust:
+      return "Du";
+    case SystemKind::kClickHouse:
+      return "Cl";
+    case SystemKind::kHyPer:
+      return "Hy";
+    case SystemKind::kUmbra:
+      return "Um";
+  }
+  return "?";
+}
+
+const std::vector<SystemKind> &AllSystems() {
+  static const std::vector<SystemKind> *systems = new std::vector<SystemKind>{
+      SystemKind::kRobust, SystemKind::kClickHouse, SystemKind::kHyPer,
+      SystemKind::kUmbra};
+  return *systems;
+}
+
+std::string QueryResult::Cell() const {
+  if (tag != ' ') {
+    return std::string(1, tag);
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), seconds < 10 ? "%.2f" : "%.1f",
+                seconds);
+  return buffer;
+}
+
+namespace {
+
+char TagFromStatus(const Status &status) {
+  if (status.ok()) {
+    return ' ';
+  }
+  if (status.IsTimeout()) {
+    return 'T';
+  }
+  if (status.IsAborted() || status.IsOutOfMemory()) {
+    return 'A';
+  }
+  return 'E';
+}
+
+QueryResult RunOnce(SystemKind system, const tpch::LineitemGenerator &gen,
+                    const tpch::GroupingQuery &query,
+                    const BenchOptions &options) {
+  QueryResult result;
+  BufferManager bm(options.temp_dir, options.memory_limit);
+  TaskExecutor executor(options.threads);
+  executor.SetDeadline(options.timeout_seconds);
+  auto source = gen.MakeSource(query.projection);
+  CountingCollector collector;
+
+  auto start = std::chrono::steady_clock::now();
+  Status status;
+  switch (system) {
+    case SystemKind::kRobust: {
+      auto stats = RunGroupedAggregation(bm, *source, query.group_columns,
+                                         query.aggregates, collector,
+                                         executor, options.AggConfig());
+      status = stats.ok() ? Status::OK() : stats.status();
+      break;
+    }
+    case SystemKind::kUmbra: {
+      status = RunInMemoryAggregation(bm, *source, query.group_columns,
+                                      query.aggregates, collector, executor,
+                                      options.AggConfig(), nullptr);
+      break;
+    }
+    case SystemKind::kHyPer: {
+      SwitchExternalConfig config;
+      config.in_memory = options.AggConfig();
+      config.sort.temp_directory = options.temp_dir;
+      config.sort.run_memory_bytes =
+          std::max<idx_t>(options.memory_limit / (options.threads * 4),
+                          4ULL << 20);
+      status = RunSwitchExternalAggregation(bm, *source, query.group_columns,
+                                            query.aggregates, collector,
+                                            executor, config, nullptr);
+      break;
+    }
+    case SystemKind::kClickHouse: {
+      TwoLevelSpillAggregate::Config config;
+      config.temp_directory = options.temp_dir;
+      status = RunSpillPartitionAggregation(bm, *source, query.group_columns,
+                                            query.aggregates, collector,
+                                            executor, config, nullptr);
+      break;
+    }
+  }
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  result.tag = TagFromStatus(status);
+  result.result_rows = collector.TotalRows();
+  result.snapshot = bm.Snapshot();
+  return result;
+}
+
+}  // namespace
+
+QueryResult RunGroupingQuery(SystemKind system,
+                             const tpch::LineitemGenerator &generator,
+                             const tpch::Grouping &grouping, bool wide,
+                             const BenchOptions &options) {
+  auto query = tpch::BuildGroupingQuery(grouping, wide);
+  QueryResult best;
+  for (idx_t run = 0; run < options.runs; run++) {
+    QueryResult r = RunOnce(system, generator, query, options);
+    if (run == 0 || (r.ok() && r.seconds < best.seconds)) {
+      best = r;
+    }
+    if (!r.ok()) {
+      break;  // failures are deterministic; no point repeating
+    }
+  }
+  return best;
+}
+
+std::string NormalizedGeoMeanCell(const std::vector<QueryResult> &system,
+                                  const std::vector<QueryResult> &baseline) {
+  double log_sum = 0;
+  idx_t count = 0;
+  for (idx_t i = 0; i < system.size(); i++) {
+    if (!system[i].ok()) {
+      return std::string(1, system[i].tag == ' ' ? 'A' : system[i].tag);
+    }
+    if (!baseline[i].ok() || baseline[i].seconds <= 0 ||
+        system[i].seconds <= 0) {
+      continue;
+    }
+    log_sum += std::log(system[i].seconds / baseline[i].seconds);
+    count++;
+  }
+  if (count == 0) {
+    return "-";
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2f", std::exp(log_sum / count));
+  return buffer;
+}
+
+void PrintRule(const std::vector<int> &widths) {
+  for (int w : widths) {
+    std::fputc('+', stdout);
+    for (int i = 0; i < w + 2; i++) {
+      std::fputc('-', stdout);
+    }
+  }
+  std::puts("+");
+}
+
+void PrintRow(const std::vector<std::string> &cells,
+              const std::vector<int> &widths) {
+  for (idx_t i = 0; i < cells.size(); i++) {
+    std::printf("| %*s ", widths[i], cells[i].c_str());
+  }
+  std::puts("|");
+}
+
+std::string FormatBytes(idx_t bytes) {
+  char buffer[32];
+  if (bytes >= (1ULL << 30)) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f GiB",
+                  static_cast<double>(bytes) / (1ULL << 30));
+  } else if (bytes >= (1ULL << 20)) {
+    std::snprintf(buffer, sizeof(buffer), "%.1f MiB",
+                  static_cast<double>(bytes) / (1ULL << 20));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.1f KiB",
+                  static_cast<double>(bytes) / 1024.0);
+  }
+  return buffer;
+}
+
+}  // namespace bench
+}  // namespace ssagg

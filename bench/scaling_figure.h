@@ -1,0 +1,75 @@
+#ifndef SSAGG_BENCH_SCALING_FIGURE_H_
+#define SSAGG_BENCH_SCALING_FIGURE_H_
+
+#include <cstdio>
+#include <map>
+
+#include "harness_util.h"
+
+namespace ssagg {
+namespace bench {
+
+/// Shared driver for Figures 5 (thin) and 6 (wide): execution time of
+/// groupings 3, 6, and 13 at scale factors 1..128 (log-log in the paper),
+/// one series per system. Failures propagate to larger scale factors.
+inline int RunScalingFigure(const char *title, bool wide) {
+  BenchOptions options = BenchOptions::FromEnv();
+  std::vector<idx_t> scale_factors;
+  for (idx_t sf = 1; sf <= options.scale_cap; sf *= 2) {
+    scale_factors.push_back(sf);
+  }
+  const int grouping_ids[3] = {3, 6, 13};
+
+  std::printf("%s\n", title);
+  std::printf("threads=%llu memory=%s timeout=%.0fs "
+              "(cells: seconds; A=aborted, T=timed out)\n",
+              static_cast<unsigned long long>(options.threads),
+              FormatBytes(options.memory_limit).c_str(),
+              options.timeout_seconds);
+
+  for (int gid : grouping_ids) {
+    const auto &grouping = tpch::TableIGroupings()[gid - 1];
+    std::printf("\nGrouping %d (%s):\n", gid, grouping.Name().c_str());
+    std::vector<int> widths = {16};
+    std::vector<std::string> header = {"system \\ SF"};
+    for (idx_t sf : scale_factors) {
+      header.push_back(std::to_string(sf));
+      widths.push_back(7);
+    }
+    PrintRule(widths);
+    PrintRow(header, widths);
+    PrintRule(widths);
+    for (auto system : AllSystems()) {
+      std::vector<std::string> cells = {SystemName(system)};
+      char failed = 0;
+      for (idx_t sf : scale_factors) {
+        if (failed) {
+          cells.push_back(std::string(1, failed));
+          continue;
+        }
+        tpch::LineitemGenerator gen(static_cast<double>(sf));
+        QueryResult result =
+            RunGroupingQuery(system, gen, grouping, wide, options);
+        cells.push_back(result.Cell());
+        if (!result.ok()) {
+          failed = result.tag;
+        }
+      }
+      PrintRow(cells, widths);
+      std::fflush(stdout);
+    }
+    PrintRule(widths);
+  }
+  std::printf("\nexpected shape (paper Fig. %s): all systems scale linearly "
+              "while in memory; past the\nmemory limit the in-memory-only "
+              "model aborts, the switching model jumps (cliff) and\n"
+              "eventually fails, while the robust system keeps scaling "
+              "near-linearly.\n",
+              wide ? "6" : "5");
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace ssagg
+
+#endif  // SSAGG_BENCH_SCALING_FIGURE_H_

@@ -1,0 +1,95 @@
+#ifndef SSAGG_BENCH_TABLE_MATRIX_H_
+#define SSAGG_BENCH_TABLE_MATRIX_H_
+
+#include <cstdio>
+#include <map>
+
+#include "harness_util.h"
+
+namespace ssagg {
+namespace bench {
+
+/// Shared driver for Tables II (thin) and III (wide): all 13 groupings x
+/// scale factors x 4 systems, with per-SF geometric means normalized to the
+/// robust system — the exact shape of the paper's tables. Once a system
+/// fails (abort/timeout) on a grouping at some SF, larger SFs of the same
+/// grouping are marked with the same tag without running (failures are
+/// monotone in input size; this also bounds the harness runtime).
+inline int RunTableMatrix(const char *title, bool wide) {
+  BenchOptions options = BenchOptions::FromEnv();
+  std::vector<idx_t> scale_factors;
+  for (idx_t sf : {idx_t(2), idx_t(8), idx_t(32), idx_t(128)}) {
+    if (sf <= options.scale_cap) {
+      scale_factors.push_back(sf);
+    }
+  }
+  const auto &systems = AllSystems();
+  const auto &groupings = tpch::TableIGroupings();
+
+  std::printf("%s\n", title);
+  std::printf("threads=%llu memory=%s timeout=%.0fs "
+              "(cells: seconds; A=aborted, T=timed out)\n\n",
+              static_cast<unsigned long long>(options.threads),
+              FormatBytes(options.memory_limit).c_str(),
+              options.timeout_seconds);
+
+  std::vector<int> widths = {8};
+  std::vector<std::string> header = {"grouping"};
+  for (idx_t sf : scale_factors) {
+    for (auto system : systems) {
+      header.push_back(std::string(SystemShortName(system)) + "@" +
+                       std::to_string(sf));
+      widths.push_back(7);
+    }
+  }
+  PrintRule(widths);
+  PrintRow(header, widths);
+  PrintRule(widths);
+
+  // results[sf][system] = per-grouping results (for the geo-mean row).
+  std::map<idx_t, std::map<SystemKind, std::vector<QueryResult>>> results;
+  for (const auto &grouping : groupings) {
+    std::vector<std::string> cells = {std::to_string(grouping.id)};
+    std::map<SystemKind, char> failed;  // propagate failures across SFs
+    for (idx_t sf : scale_factors) {
+      tpch::LineitemGenerator gen(static_cast<double>(sf));
+      for (auto system : systems) {
+        QueryResult result;
+        auto it = failed.find(system);
+        if (it != failed.end()) {
+          result.tag = it->second;
+          result.skipped = true;
+        } else {
+          result = RunGroupingQuery(system, gen, grouping, wide, options);
+          if (!result.ok()) {
+            failed[system] = result.tag;
+          }
+        }
+        results[sf][system].push_back(result);
+        cells.push_back(result.Cell());
+      }
+    }
+    PrintRow(cells, widths);
+    std::fflush(stdout);
+  }
+  PrintRule(widths);
+
+  std::vector<std::string> geo = {"geomean"};
+  for (idx_t sf : scale_factors) {
+    for (auto system : systems) {
+      geo.push_back(NormalizedGeoMeanCell(results[sf][system],
+                                          results[sf][SystemKind::kRobust]));
+    }
+  }
+  PrintRow(geo, widths);
+  PrintRule(widths);
+  std::printf("\ngeomean row: per-SF geometric mean of execution times "
+              "normalized to the robust system\n(paper Section VIII: "
+              "\"this weighs each query fairly\").\n");
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace ssagg
+
+#endif  // SSAGG_BENCH_TABLE_MATRIX_H_

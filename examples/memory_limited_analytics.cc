@@ -1,0 +1,104 @@
+// Graceful degradation demo: the same high-cardinality aggregation runs
+// with progressively smaller memory limits. The operator code never
+// changes — when intermediates stop fitting, the buffer manager spills
+// individual pages to a temporary file and the query completes slightly
+// slower instead of failing (the paper's central claim).
+//
+// For contrast, the same query also runs on an in-memory-only engine model
+// (spilling disabled), which aborts at exactly the point where ours starts
+// using the disk.
+
+#include <cstdio>
+
+#include "ssagg/ssagg.h"
+
+using namespace ssagg;  // NOLINT(build/namespaces)
+
+namespace {
+
+// A "user table" of 3M events with ~3M distinct session ids: worst-case
+// aggregation where pre-aggregation cannot reduce anything.
+constexpr idx_t kEvents = 3000000;
+
+RangeSource MakeEvents() {
+  std::vector<LogicalTypeId> types = {LogicalTypeId::kInt64,
+                                      LogicalTypeId::kInt64,
+                                      LogicalTypeId::kVarchar};
+  return RangeSource(
+      types, kEvents, [](DataChunk &chunk, idx_t start, idx_t count) {
+        for (idx_t i = 0; i < count; i++) {
+          idx_t row = start + i;
+          chunk.column(0).SetValue<int64_t>(
+              i, static_cast<int64_t>(HashUint64(row) % kEvents));
+          chunk.column(1).SetValue<int64_t>(i,
+                                            static_cast<int64_t>(row % 97));
+          chunk.column(2).SetString(
+              i, "client_" + std::to_string(row % 5000) + "_tag");
+        }
+        return Status::OK();
+      });
+}
+
+}  // namespace
+
+int main() {
+  TaskExecutor executor(2);
+  std::vector<idx_t> group_columns = {0};
+  std::vector<AggregateRequest> aggregates = {
+      {AggregateKind::kSum, 1}, {AggregateKind::kAnyValue, 2}};
+  HashAggregateConfig config;
+  config.phase1_capacity = 1ULL << 15;
+  config.radix_bits = 5;
+
+  std::printf("aggregating %llu events into ~%llu groups "
+              "(intermediates ~ %d MiB)\n\n",
+              static_cast<unsigned long long>(kEvents),
+              static_cast<unsigned long long>(kEvents), 220);
+  std::printf("%10s | %12s %10s %12s | %12s\n", "limit", "robust s",
+              "spilled", "temp peak", "in-memory-only");
+  for (idx_t limit_mb : {512, 256, 128, 96, 64}) {
+    // Robust: spilling allowed.
+    BufferManager bm("/tmp/ssagg_mla", limit_mb << 20);
+    auto events = MakeEvents();
+    CountingCollector sink;
+    auto t0 = std::chrono::steady_clock::now();
+    auto stats = RunGroupedAggregation(bm, events, group_columns, aggregates,
+                                       sink, executor, config);
+    double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    auto snap = bm.Snapshot();
+
+    // In-memory-only engine model: same engine, spilling forbidden.
+    BufferManager bm2("/tmp/ssagg_mla", limit_mb << 20);
+    auto events2 = MakeEvents();
+    CountingCollector sink2;
+    Status in_memory = RunInMemoryAggregation(
+        bm2, events2, group_columns, aggregates, sink2, executor, config,
+        nullptr);
+
+    char robust_cell[32];
+    if (stats.ok()) {
+      std::snprintf(robust_cell, sizeof(robust_cell), "%.2f", seconds);
+    } else {
+      std::snprintf(robust_cell, sizeof(robust_cell), "%s",
+                    stats.status().ToString().c_str());
+    }
+    char peak_cell[32];
+    if (snap.temp_file_peak > 0) {
+      std::snprintf(peak_cell, sizeof(peak_cell), "%llu MiB",
+                    static_cast<unsigned long long>(snap.temp_file_peak >>
+                                                    20));
+    } else {
+      std::snprintf(peak_cell, sizeof(peak_cell), "-");
+    }
+    std::printf("%7llu MB | %12s %10s %12s | %12s\n",
+                static_cast<unsigned long long>(limit_mb), robust_cell,
+                snap.temp_writes > 0 ? "yes" : "no", peak_cell,
+                in_memory.ok() ? "completes" : "ABORTS");
+  }
+  std::printf("\nthe robust runtime degrades gradually as the limit "
+              "shrinks; the in-memory-only\nengine falls off the cliff "
+              "instead.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Persistent storage demo: write a table to a database file with
+// lightweight compression, then aggregate it through the unified buffer
+// manager. The scan's persistent pages and the aggregation's temporary
+// pages share one pool — loading the table can evict intermediates and
+// vice versa, which is exactly the cooperation Section III argues for.
+
+#include <cstdio>
+
+#include "ssagg/ssagg.h"
+
+using namespace ssagg;  // NOLINT(build/namespaces)
+
+int main() {
+  const std::string dir = "/tmp/ssagg_persistent";
+  (void)FileSystem::CreateDirectories(dir);
+
+  // 1. Create a database file and a table in it.
+  auto block_mgr_res = FileBlockManager::Create(dir + "/shop.db");
+  if (!block_mgr_res.ok()) {
+    std::fprintf(stderr, "%s\n", block_mgr_res.status().ToString().c_str());
+    return 1;
+  }
+  auto block_mgr = block_mgr_res.MoveValue();
+  Schema schema = {{"product_id", LogicalTypeId::kInt64},
+                   {"category", LogicalTypeId::kVarchar},
+                   {"units", LogicalTypeId::kInt32},
+                   {"price", LogicalTypeId::kDouble}};
+  DataTable sales(*block_mgr, schema);
+
+  // 2. Bulk-load 2M rows. Column segments are compressed with
+  //    frame-of-reference bit-packing / RLE automatically.
+  const char *categories[6] = {"garden", "kitchen",    "electronics",
+                               "toys",   "stationery", "outdoor"};
+  DataChunk chunk({LogicalTypeId::kInt64, LogicalTypeId::kVarchar,
+                   LogicalTypeId::kInt32, LogicalTypeId::kDouble});
+  constexpr idx_t kRows = 2000000;
+  RandomEngine rng(2024);
+  for (idx_t start = 0; start < kRows; start += kVectorSize) {
+    idx_t n = std::min(kVectorSize, kRows - start);
+    for (idx_t i = 0; i < n; i++) {
+      chunk.column(0).SetValue<int64_t>(
+          i, static_cast<int64_t>(rng.NextRange(50000)));
+      chunk.column(1).SetString(i, categories[rng.NextRange(6)]);
+      chunk.column(2).SetValue<int32_t>(
+          i, static_cast<int32_t>(rng.NextRange(10) + 1));
+      chunk.column(3).SetValue<double>(i, 1.0 + rng.NextDouble() * 99.0);
+    }
+    chunk.SetCount(n);
+    if (!sales.Append(chunk).ok()) {
+      return 1;
+    }
+    chunk.Reset();
+  }
+  if (!sales.FinalizeAppend().ok()) {
+    return 1;
+  }
+  idx_t raw_bytes = kRows * (8 + 16 + 4 + 8);
+  std::printf("table: %llu rows in %llu blocks, %.1f MiB compressed "
+              "(%.1fx vs %.1f MiB raw)\n\n",
+              static_cast<unsigned long long>(sales.RowCount()),
+              static_cast<unsigned long long>(sales.BlockCount()),
+              sales.CompressedBytes() / 1048576.0,
+              static_cast<double>(raw_bytes) / sales.CompressedBytes(),
+              raw_bytes / 1048576.0);
+
+  // 3. Aggregate it with a pool much smaller than table + intermediates.
+  BufferManager bm(dir, 64ULL << 20);
+  TaskExecutor executor(4);
+  auto scan = sales.MakeScanSource(bm, {1, 2, 3});  // category, units, price
+  MaterializedCollector result;
+  HashAggregateConfig config;
+  config.radix_bits = 3;
+  auto stats = RunGroupedAggregation(
+      bm, *scan, /*group columns=*/{0},
+      {{AggregateKind::kSum, 1}, {AggregateKind::kAvg, 2},
+       {AggregateKind::kCountStar, kInvalidIndex}},
+      result, executor, config);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%-12s %12s %10s %10s\n", "category", "units", "avg price",
+              "rows");
+  for (const auto &row : result.rows()) {
+    std::printf("%-12s %12lld %10.2f %10lld\n", row[0].GetString().c_str(),
+                static_cast<long long>(row[1].GetInt64()),
+                row[2].GetDouble(),
+                static_cast<long long>(row[3].GetInt64()));
+  }
+  auto snap = bm.Snapshot();
+  std::printf("\npersistent pages evicted: %llu (re-read from shop.db for "
+              "free), temporary spills: %llu\n",
+              static_cast<unsigned long long>(snap.evicted_persistent_count),
+              static_cast<unsigned long long>(snap.evicted_temporary_count));
+  sales.ReleaseHandleCache(bm);
+  return 0;
+}

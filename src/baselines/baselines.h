@@ -1,0 +1,131 @@
+#ifndef SSAGG_BASELINES_BASELINES_H_
+#define SSAGG_BASELINES_BASELINES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "buffer/buffer_manager.h"
+#include "core/run_aggregation.h"
+#include "execution/operator.h"
+#include "execution/task_executor.h"
+#include "sort/external_sort_aggregate.h"
+
+namespace ssagg {
+
+/// How a baseline query ended.
+struct BaselineOutcome {
+  bool completed = false;
+  bool aborted = false;            // ran out of memory, gave up
+  bool switched_to_external = false;  // HyPer-model took the sort path
+  bool spilled_partitions = false;    // ClickHouse-model dumped partitions
+  double seconds = 0;
+};
+
+/// Umbra-model: our exact engine, but temporary pages may not be offloaded
+/// to storage — when intermediates no longer fit, the query aborts (the
+/// paper observed Umbra aborting all wide groupings at SF >= 32).
+/// Persistent pages still evict for free, mirroring a disk-based system
+/// with in-memory-only intermediates.
+Status RunInMemoryAggregation(BufferManager &buffer_manager,
+                              DataSource &source,
+                              const std::vector<idx_t> &group_columns,
+                              const std::vector<AggregateRequest> &aggregates,
+                              DataSink &output, TaskExecutor &executor,
+                              HashAggregateConfig config,
+                              BaselineOutcome *outcome);
+
+struct SwitchExternalConfig {
+  HashAggregateConfig in_memory;
+  ExternalSortAggregate::Config sort;
+};
+
+/// HyPer-model: run the fast in-memory aggregation; if it runs out of
+/// memory, restart the query with external sort-merge aggregation. The
+/// switch reproduces the paper's performance cliff: the external algorithm
+/// serializes every input row and is O(n log n).
+Status RunSwitchExternalAggregation(
+    BufferManager &buffer_manager, DataSource &source,
+    const std::vector<idx_t> &group_columns,
+    const std::vector<AggregateRequest> &aggregates, DataSink &output,
+    TaskExecutor &executor, const SwitchExternalConfig &config,
+    BaselineOutcome *outcome);
+
+/// ClickHouse-model: two-level (radix-partitioned) hash aggregation that,
+/// under memory pressure, serializes entire partitions to temporary files
+/// and re-aggregates them partition-wise at the end. Scales further than
+/// the in-memory-only model, but each spilled row pays (de)serialization,
+/// and the merge aborts if a partition's groups do not fit in memory (the
+/// paper observed ClickHouse aborting the largest SF-128 groupings).
+class TwoLevelSpillAggregate : public DataSink {
+ public:
+  struct Config {
+    idx_t phase1_capacity = 1ULL << 14;
+    idx_t radix_bits = 4;
+    idx_t phase2_initial_capacity = 1024;
+    /// Spill all thread-local partitions once the pool is this full.
+    double spill_threshold_ratio = 0.8;
+    std::string temp_directory = ".";
+  };
+
+  static Result<std::unique_ptr<TwoLevelSpillAggregate>> Create(
+      BufferManager &buffer_manager, std::vector<LogicalTypeId> input_types,
+      std::vector<idx_t> group_columns,
+      std::vector<AggregateRequest> aggregates, Config config);
+
+  std::vector<LogicalTypeId> OutputTypes() const {
+    return row_layout_.OutputTypes();
+  }
+
+  Result<std::unique_ptr<LocalSinkState>> InitLocal() override;
+  Status Sink(DataChunk &chunk, LocalSinkState &state) override;
+  Status Combine(LocalSinkState &state) override;
+
+  Status EmitResults(DataSink &output, TaskExecutor &executor);
+
+  bool Spilled() const { return spilled_.load(std::memory_order_relaxed); }
+  idx_t SpilledBytes() const { return spilled_bytes_.load(); }
+
+ private:
+  struct LocalState;
+  struct RunInfo {
+    std::string path;
+    idx_t rows;
+  };
+
+  TwoLevelSpillAggregate(BufferManager &buffer_manager,
+                         AggregateRowLayout row_layout, Config config)
+      : buffer_manager_(buffer_manager),
+        row_layout_(std::move(row_layout)),
+        config_(config) {}
+
+  /// Serializes every partition of the local hash table to run files and
+  /// clears it.
+  Status SpillLocal(LocalState &local);
+  Status AggregatePartition(idx_t partition_idx, DataSink &output,
+                            TaskExecutor &executor);
+
+  BufferManager &buffer_manager_;
+  AggregateRowLayout row_layout_;
+  Config config_;
+
+  std::mutex lock_;
+  std::unique_ptr<PartitionedTupleData> global_data_;
+  std::vector<std::vector<RunInfo>> partition_runs_;
+  std::atomic<idx_t> next_run_id_{0};
+  std::atomic<bool> spilled_{false};
+  std::atomic<idx_t> spilled_bytes_{0};
+};
+
+/// Runs the ClickHouse-model end to end (in-memory-only pool, explicit
+/// partition spilling).
+Status RunSpillPartitionAggregation(
+    BufferManager &buffer_manager, DataSource &source,
+    const std::vector<idx_t> &group_columns,
+    const std::vector<AggregateRequest> &aggregates, DataSink &output,
+    TaskExecutor &executor, TwoLevelSpillAggregate::Config config,
+    BaselineOutcome *outcome);
+
+}  // namespace ssagg
+
+#endif  // SSAGG_BASELINES_BASELINES_H_

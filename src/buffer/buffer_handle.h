@@ -1,0 +1,60 @@
+#ifndef SSAGG_BUFFER_BUFFER_HANDLE_H_
+#define SSAGG_BUFFER_BUFFER_HANDLE_H_
+
+#include <memory>
+#include <utility>
+
+#include "buffer/block_handle.h"
+#include "common/constants.h"
+
+namespace ssagg {
+
+/// RAII pin on a block: while a BufferHandle is alive the block's buffer is
+/// guaranteed to stay in memory at a stable address. Destruction unpins the
+/// block, making it a candidate for eviction again.
+class BufferHandle {
+ public:
+  BufferHandle() = default;
+  BufferHandle(std::shared_ptr<BlockHandle> handle, FileBuffer *buffer)
+      : handle_(std::move(handle)), buffer_(buffer) {}
+
+  ~BufferHandle() { Reset(); }
+
+  BufferHandle(const BufferHandle &) = delete;
+  BufferHandle &operator=(const BufferHandle &) = delete;
+
+  BufferHandle(BufferHandle &&other) noexcept { *this = std::move(other); }
+  BufferHandle &operator=(BufferHandle &&other) noexcept {
+    if (this != &other) {
+      Reset();
+      handle_ = std::move(other.handle_);
+      buffer_ = other.buffer_;
+      other.buffer_ = nullptr;
+    }
+    return *this;
+  }
+
+  bool IsValid() const { return buffer_ != nullptr; }
+
+  data_ptr_t Ptr() {
+    SSAGG_DASSERT(IsValid());
+    return buffer_->data();
+  }
+  const_data_ptr_t Ptr() const {
+    SSAGG_DASSERT(IsValid());
+    return buffer_->data();
+  }
+
+  const std::shared_ptr<BlockHandle> &block() const { return handle_; }
+
+  /// Explicitly unpin early.
+  void Reset();
+
+ private:
+  std::shared_ptr<BlockHandle> handle_;
+  FileBuffer *buffer_ = nullptr;
+};
+
+}  // namespace ssagg
+
+#endif  // SSAGG_BUFFER_BUFFER_HANDLE_H_

@@ -1,0 +1,423 @@
+#include "buffer/buffer_manager.h"
+
+#include <cstring>
+
+namespace ssagg {
+
+//===----------------------------------------------------------------------===//
+// BlockHandle / BufferHandle
+//===----------------------------------------------------------------------===//
+
+BlockHandle::~BlockHandle() {
+  // The last shared_ptr is gone, so no pins can be outstanding; release any
+  // memory or temporary-file space still held.
+  manager_.CleanupDroppedBlock(*this);
+}
+
+void BufferHandle::Reset() {
+  if (handle_) {
+    handle_->manager_.Unpin(*handle_);
+    handle_.reset();
+  }
+  buffer_ = nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// NonPagedAllocation
+//===----------------------------------------------------------------------===//
+
+NonPagedAllocation &NonPagedAllocation::operator=(
+    NonPagedAllocation &&other) noexcept {
+  if (this != &other) {
+    Reset();
+    manager_ = other.manager_;
+    data_ = other.data_;
+    size_ = other.size_;
+    other.manager_ = nullptr;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void NonPagedAllocation::Reset() {
+  if (data_ != nullptr) {
+    delete[] data_;
+    manager_->FreeNonPaged(size_);
+    data_ = nullptr;
+    manager_ = nullptr;
+    size_ = 0;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// BufferManager
+//===----------------------------------------------------------------------===//
+
+BufferManager::BufferManager(std::string temp_directory, idx_t memory_limit,
+                             EvictionPolicy policy)
+    : temp_directory_(std::move(temp_directory)),
+      memory_limit_(memory_limit),
+      policy_(policy),
+      temp_files_(temp_directory_) {}
+
+BufferManager::~BufferManager() = default;
+
+idx_t BufferManager::QueueIndex(BlockKind kind) const {
+  if (policy_ == EvictionPolicy::kMixed) {
+    return 0;
+  }
+  return kind == BlockKind::kPersistent ? 1 : 0;
+}
+
+void BufferManager::SetEvictionPolicy(EvictionPolicy policy) {
+  std::lock_guard<std::mutex> guard(queue_lock_);
+  // Redistribute existing entries according to the new policy's queue
+  // mapping. Stale entries are carried along; they are skipped lazily.
+  std::deque<EvictionEntry> all;
+  for (auto &queue : queues_) {
+    for (auto &entry : queue) {
+      all.push_back(std::move(entry));
+    }
+    queue.clear();
+  }
+  policy_ = policy;
+  for (auto &entry : all) {
+    auto handle = entry.handle.lock();
+    if (!handle) {
+      continue;
+    }
+    queues_[QueueIndex(handle->kind())].push_back(std::move(entry));
+  }
+}
+
+void BufferManager::ChargeLoaded(BlockKind kind, idx_t size) {
+  if (kind == BlockKind::kPersistent) {
+    persistent_loaded_bytes_.fetch_add(size, std::memory_order_relaxed);
+  } else {
+    temporary_loaded_bytes_.fetch_add(size, std::memory_order_relaxed);
+  }
+}
+
+void BufferManager::DischargeLoaded(BlockKind kind, idx_t size) {
+  if (kind == BlockKind::kPersistent) {
+    persistent_loaded_bytes_.fetch_sub(size, std::memory_order_relaxed);
+  } else {
+    temporary_loaded_bytes_.fetch_sub(size, std::memory_order_relaxed);
+  }
+}
+
+Status BufferManager::SpillBlock(BlockHandle &block) {
+  SSAGG_DASSERT(block.state_ == BlockState::kLoaded);
+  SSAGG_DASSERT(!block.can_destroy_);
+  if (block.kind_ == BlockKind::kTemporaryFixed) {
+    SSAGG_ASSIGN_OR_RETURN(block.temp_slot_,
+                           temp_files_.WriteFixedBlock(*block.buffer_));
+  } else {
+    SSAGG_DASSERT(block.kind_ == BlockKind::kTemporaryVariable);
+    SSAGG_RETURN_NOT_OK(
+        temp_files_.WriteVariableBlock(block.id_, *block.buffer_));
+    block.spilled_to_own_file_ = true;
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<FileBuffer>> BufferManager::EvictOneBlock(
+    idx_t reuse_size) {
+  // Order in which the queues are drained, per policy.
+  idx_t order[2] = {0, 1};
+  if (policy_ == EvictionPolicy::kPersistentFirst) {
+    order[0] = 1;
+    order[1] = 0;
+  }
+  while (true) {
+    std::shared_ptr<BlockHandle> candidate;
+    uint64_t entry_seq = 0;
+    {
+      std::lock_guard<std::mutex> guard(queue_lock_);
+      for (idx_t qi : order) {
+        while (!queues_[qi].empty()) {
+          EvictionEntry entry = std::move(queues_[qi].front());
+          queues_[qi].pop_front();
+          auto handle = entry.handle.lock();
+          if (!handle) {
+            continue;  // block was dropped entirely
+          }
+          candidate = std::move(handle);
+          entry_seq = entry.seq;
+          break;
+        }
+        if (candidate) {
+          break;
+        }
+      }
+    }
+    if (!candidate) {
+      return Status::OutOfMemory(
+          "memory limit exceeded and no page can be evicted");
+    }
+    std::unique_lock<std::mutex> block_lock(candidate->lock_,
+                                            std::try_to_lock);
+    if (!block_lock.owns_lock()) {
+      // Someone is pinning or evicting this block; its queue entry will be
+      // recreated on the next unpin if needed.
+      continue;
+    }
+    if (candidate->eviction_seq_.load(std::memory_order_relaxed) !=
+            entry_seq ||
+        candidate->readers_.load(std::memory_order_relaxed) != 0 ||
+        candidate->state_ != BlockState::kLoaded || candidate->destroyed_) {
+      continue;  // stale entry
+    }
+    // Found an evictable block.
+    BlockKind kind = candidate->kind_;
+    idx_t size = candidate->size_;
+    if (kind != BlockKind::kPersistent && !candidate->can_destroy_ &&
+        !spill_temporary_) {
+      // In-memory-only mode: temporary pages cannot be offloaded. Drop the
+      // queue entry and keep looking; with nothing else evictable the
+      // reservation fails with OutOfMemory (the engine "aborts").
+      continue;
+    }
+    if (kind == BlockKind::kPersistent) {
+      // Contents are replicated in the database file: dropping is free.
+      evicted_persistent_count_.fetch_add(1, std::memory_order_relaxed);
+    } else if (candidate->can_destroy_) {
+      candidate->destroyed_ = true;
+      evicted_temporary_count_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      SSAGG_RETURN_NOT_OK(SpillBlock(*candidate));
+      evicted_temporary_count_.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::unique_ptr<FileBuffer> buffer = std::move(candidate->buffer_);
+    candidate->state_ = BlockState::kUnloaded;
+    DischargeLoaded(kind, size);
+    if (buffer->size() == reuse_size) {
+      // Hand the buffer to the new allocation; its memory charge transfers.
+      reused_buffers_.fetch_add(1, std::memory_order_relaxed);
+      return buffer;
+    }
+    buffer.reset();
+    memory_used_.fetch_sub(size, std::memory_order_relaxed);
+    return std::unique_ptr<FileBuffer>(nullptr);
+  }
+}
+
+Result<std::unique_ptr<FileBuffer>> BufferManager::ReserveMemory(idx_t size) {
+  while (true) {
+    idx_t current = memory_used_.load(std::memory_order_relaxed);
+    if (current + size <= memory_limit_.load(std::memory_order_relaxed)) {
+      if (memory_used_.compare_exchange_weak(current, current + size,
+                                             std::memory_order_relaxed)) {
+        return std::unique_ptr<FileBuffer>(nullptr);
+      }
+      continue;  // lost the race; retry
+    }
+    // Buffer reuse transfers the evicted block's charge, leaving usage
+    // unchanged — only acceptable while usage is within the limit. When the
+    // pool is over the limit (it was lowered), evictions must actually free
+    // memory so usage converges below it.
+    bool allow_reuse =
+        current <= memory_limit_.load(std::memory_order_relaxed);
+    SSAGG_ASSIGN_OR_RETURN(auto reused, EvictOneBlock(allow_reuse ? size : 0));
+    if (reused) {
+      return reused;  // charge transferred with the buffer
+    }
+  }
+}
+
+Result<BufferHandle> BufferManager::Allocate(
+    idx_t size, std::shared_ptr<BlockHandle> *out_handle, bool can_destroy) {
+  SSAGG_ASSERT(size > 0);
+  BlockKind kind = size == kPageSize ? BlockKind::kTemporaryFixed
+                                     : BlockKind::kTemporaryVariable;
+  SSAGG_ASSIGN_OR_RETURN(auto buffer, ReserveMemory(size));
+  if (!buffer) {
+    buffer = std::make_unique<FileBuffer>(size);
+  }
+  auto handle = std::make_shared<BlockHandle>(
+      *this, next_temp_block_id_.fetch_add(1), kind, size, can_destroy,
+      nullptr);
+  handle->buffer_ = std::move(buffer);
+  handle->state_ = BlockState::kLoaded;
+  handle->readers_.store(1, std::memory_order_relaxed);
+  ChargeLoaded(kind, size);
+  if (out_handle) {
+    *out_handle = handle;
+  }
+  FileBuffer *raw = handle->buffer_.get();
+  return BufferHandle(std::move(handle), raw);
+}
+
+std::shared_ptr<BlockHandle> BufferManager::RegisterPersistentBlock(
+    FileBlockManager &block_manager, block_id_t block_id) {
+  return std::make_shared<BlockHandle>(*this, block_id,
+                                       BlockKind::kPersistent, kPageSize,
+                                       /*can_destroy=*/false, &block_manager);
+}
+
+Result<BufferHandle> BufferManager::Pin(
+    const std::shared_ptr<BlockHandle> &handle) {
+  std::unique_lock<std::mutex> lock(handle->lock_);
+  if (handle->destroyed_) {
+    return Status::Aborted("pin of a destroyed block");
+  }
+  if (handle->state_ == BlockState::kLoaded) {
+    handle->readers_.fetch_add(1, std::memory_order_relaxed);
+    // Invalidate any queued eviction entries for this block.
+    handle->eviction_seq_.fetch_add(1, std::memory_order_relaxed);
+    return BufferHandle(handle, handle->buffer_.get());
+  }
+  // Block must be loaded from storage; make room first. Deadlock with
+  // concurrent pins is avoided because eviction uses try_lock.
+  SSAGG_ASSIGN_OR_RETURN(auto buffer, ReserveMemory(handle->size_));
+  if (!buffer) {
+    buffer = std::make_unique<FileBuffer>(handle->size_);
+  }
+  Status read_status;
+  switch (handle->kind_) {
+    case BlockKind::kPersistent:
+      read_status = handle->block_manager_->ReadBlock(handle->id_, *buffer);
+      break;
+    case BlockKind::kTemporaryFixed:
+      SSAGG_ASSERT(handle->temp_slot_ != kInvalidIndex);
+      read_status = temp_files_.ReadFixedBlock(handle->temp_slot_, *buffer);
+      handle->temp_slot_ = kInvalidIndex;
+      break;
+    case BlockKind::kTemporaryVariable:
+      SSAGG_ASSERT(handle->spilled_to_own_file_);
+      read_status = temp_files_.ReadVariableBlock(handle->id_, *buffer);
+      handle->spilled_to_own_file_ = false;
+      break;
+  }
+  if (!read_status.ok()) {
+    memory_used_.fetch_sub(handle->size_, std::memory_order_relaxed);
+    return read_status;
+  }
+  handle->buffer_ = std::move(buffer);
+  handle->state_ = BlockState::kLoaded;
+  handle->readers_.store(1, std::memory_order_relaxed);
+  handle->eviction_seq_.fetch_add(1, std::memory_order_relaxed);
+  ChargeLoaded(handle->kind_, handle->size_);
+  return BufferHandle(handle, handle->buffer_.get());
+}
+
+void BufferManager::Unpin(BlockHandle &block) {
+  std::unique_lock<std::mutex> lock(block.lock_);
+  int32_t readers = block.readers_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  SSAGG_DASSERT(readers >= 0);
+  if (readers != 0 || block.state_ != BlockState::kLoaded) {
+    return;
+  }
+  if (block.destroyed_) {
+    // DestroyBlock was called while pins were outstanding; free now.
+    block.buffer_.reset();
+    block.state_ = BlockState::kUnloaded;
+    DischargeLoaded(block.kind_, block.size_);
+    memory_used_.fetch_sub(block.size_, std::memory_order_relaxed);
+    return;
+  }
+  // Becomes an eviction candidate.
+  uint64_t seq =
+      block.eviction_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::lock_guard<std::mutex> guard(queue_lock_);
+  // weak_from_this is never expired here: the caller (BufferHandle) still
+  // holds a shared_ptr.
+  queues_[QueueIndex(block.kind_)].push_back(
+      EvictionEntry{block.weak_from_this(), seq});
+}
+
+void BufferManager::DestroyBlock(const std::shared_ptr<BlockHandle> &handle) {
+  std::unique_lock<std::mutex> lock(handle->lock_);
+  if (handle->destroyed_) {
+    return;
+  }
+  handle->destroyed_ = true;
+  if (handle->state_ == BlockState::kLoaded) {
+    if (handle->readers_.load(std::memory_order_relaxed) == 0) {
+      handle->buffer_.reset();
+      handle->state_ = BlockState::kUnloaded;
+      DischargeLoaded(handle->kind_, handle->size_);
+      memory_used_.fetch_sub(handle->size_, std::memory_order_relaxed);
+    }
+    // else: freed by the final Unpin.
+    return;
+  }
+  // Spilled: release temporary-file space.
+  if (handle->temp_slot_ != kInvalidIndex) {
+    temp_files_.FreeFixedSlot(handle->temp_slot_);
+    handle->temp_slot_ = kInvalidIndex;
+  }
+  if (handle->spilled_to_own_file_) {
+    temp_files_.FreeVariableBlock(handle->id_);
+    handle->spilled_to_own_file_ = false;
+  }
+}
+
+void BufferManager::CleanupDroppedBlock(BlockHandle &block) {
+  // Destructor context: exclusive access, no locking needed.
+  if (block.destroyed_) {
+    return;
+  }
+  if (block.state_ == BlockState::kLoaded) {
+    block.buffer_.reset();
+    DischargeLoaded(block.kind_, block.size_);
+    memory_used_.fetch_sub(block.size_, std::memory_order_relaxed);
+    return;
+  }
+  if (block.temp_slot_ != kInvalidIndex) {
+    temp_files_.FreeFixedSlot(block.temp_slot_);
+  }
+  if (block.spilled_to_own_file_) {
+    temp_files_.FreeVariableBlock(block.id_);
+  }
+}
+
+Result<NonPagedAllocation> BufferManager::AllocateNonPaged(idx_t size) {
+  SSAGG_ASSIGN_OR_RETURN(auto reused, ReserveMemory(size));
+  reused.reset();  // a page buffer cannot back a non-paged allocation
+  data_ptr_t data = new data_t[size];
+  non_paged_bytes_.fetch_add(size, std::memory_order_relaxed);
+  return NonPagedAllocation(this, data, size);
+}
+
+void BufferManager::FreeNonPaged(idx_t size) {
+  non_paged_bytes_.fetch_sub(size, std::memory_order_relaxed);
+  memory_used_.fetch_sub(size, std::memory_order_relaxed);
+}
+
+Status BufferManager::ReserveExternalMemory(idx_t size) {
+  SSAGG_ASSIGN_OR_RETURN(auto reused, ReserveMemory(size));
+  // An evicted buffer cannot back an external allocation; release the
+  // physical memory but keep the charge (it now accounts for the caller's
+  // allocation).
+  reused.reset();
+  return Status::OK();
+}
+
+void BufferManager::FreeExternalMemory(idx_t size) {
+  memory_used_.fetch_sub(size, std::memory_order_relaxed);
+}
+
+BufferManagerSnapshot BufferManager::Snapshot() const {
+  BufferManagerSnapshot snap;
+  snap.memory_used = memory_used_.load(std::memory_order_relaxed);
+  snap.memory_limit = memory_limit_.load(std::memory_order_relaxed);
+  snap.persistent_bytes_in_memory =
+      persistent_loaded_bytes_.load(std::memory_order_relaxed);
+  snap.temporary_bytes_in_memory =
+      temporary_loaded_bytes_.load(std::memory_order_relaxed);
+  snap.non_paged_bytes = non_paged_bytes_.load(std::memory_order_relaxed);
+  snap.temp_file_size = temp_files_.CurrentSize();
+  snap.temp_file_peak = temp_files_.PeakSize();
+  snap.evicted_persistent_count =
+      evicted_persistent_count_.load(std::memory_order_relaxed);
+  snap.evicted_temporary_count =
+      evicted_temporary_count_.load(std::memory_order_relaxed);
+  snap.reused_buffers = reused_buffers_.load(std::memory_order_relaxed);
+  snap.temp_writes = temp_files_.WriteCount();
+  snap.temp_reads = temp_files_.ReadCount();
+  return snap;
+}
+
+}  // namespace ssagg

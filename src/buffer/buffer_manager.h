@@ -1,0 +1,207 @@
+#ifndef SSAGG_BUFFER_BUFFER_MANAGER_H_
+#define SSAGG_BUFFER_BUFFER_MANAGER_H_
+
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "buffer/block_handle.h"
+#include "buffer/buffer_handle.h"
+#include "buffer/file_block_manager.h"
+#include "buffer/temporary_file_manager.h"
+#include "common/constants.h"
+#include "common/status.h"
+
+namespace ssagg {
+
+/// Which pages are evicted first when memory is needed (Section VII,
+/// "Loading & Spilling"). kMixed is DuckDB's default: one LRU queue for all
+/// page kinds. The other two keep persistent and temporary pages in separate
+/// LRU queues and drain one before the other.
+enum class EvictionPolicy : uint8_t {
+  kMixed,
+  kTemporaryFirst,
+  kPersistentFirst,
+};
+
+/// Point-in-time view of the buffer manager, sampled by the Figure 4 bench.
+struct BufferManagerSnapshot {
+  idx_t memory_used = 0;
+  idx_t memory_limit = 0;
+  idx_t persistent_bytes_in_memory = 0;
+  idx_t temporary_bytes_in_memory = 0;
+  idx_t non_paged_bytes = 0;
+  idx_t temp_file_size = 0;
+  idx_t temp_file_peak = 0;
+  idx_t evicted_persistent_count = 0;
+  idx_t evicted_temporary_count = 0;
+  idx_t reused_buffers = 0;
+  idx_t temp_writes = 0;
+  idx_t temp_reads = 0;
+};
+
+/// RAII owner of a non-paged allocation (Section III): any-size, not
+/// spillable, but routed through the buffer manager so that making it may
+/// evict other pages, and so it counts toward the memory limit.
+class NonPagedAllocation {
+ public:
+  NonPagedAllocation() = default;
+  NonPagedAllocation(BufferManager *manager, data_ptr_t data, idx_t size)
+      : manager_(manager), data_(data), size_(size) {}
+  ~NonPagedAllocation() { Reset(); }
+
+  NonPagedAllocation(const NonPagedAllocation &) = delete;
+  NonPagedAllocation &operator=(const NonPagedAllocation &) = delete;
+  NonPagedAllocation(NonPagedAllocation &&other) noexcept {
+    *this = std::move(other);
+  }
+  NonPagedAllocation &operator=(NonPagedAllocation &&other) noexcept;
+
+  bool IsValid() const { return data_ != nullptr; }
+  data_ptr_t data() { return data_; }
+  const_data_ptr_t data() const { return data_; }
+  idx_t size() const { return size_; }
+
+  void Reset();
+
+ private:
+  BufferManager *manager_ = nullptr;
+  data_ptr_t data_ = nullptr;
+  idx_t size_ = 0;
+};
+
+/// Unified Memory Management (Section III): one memory pool and one eviction
+/// mechanism for persistent pages, paged fixed-size temporary data, paged
+/// variable-size temporary data, and non-paged temporary allocations.
+/// Eviction only happens when a new reservation would exceed the memory
+/// limit; evicted persistent pages are dropped for free (their contents are
+/// in the database file) while evicted temporary pages are written to
+/// temporary files. Same-size evicted buffers are reused for the new
+/// allocation.
+class BufferManager {
+ public:
+  BufferManager(std::string temp_directory, idx_t memory_limit,
+                EvictionPolicy policy = EvictionPolicy::kMixed);
+  ~BufferManager();
+
+  BufferManager(const BufferManager &) = delete;
+  BufferManager &operator=(const BufferManager &) = delete;
+
+  /// Allocates a temporary block of the given size and returns it pinned.
+  /// size == kPageSize yields a paged fixed-size allocation (spillable into
+  /// the shared temporary file); other sizes yield paged variable-size
+  /// allocations (each spilled to its own file). If can_destroy is set the
+  /// contents are dropped instead of spilled and the block cannot be
+  /// re-pinned after eviction.
+  Result<BufferHandle> Allocate(idx_t size,
+                                std::shared_ptr<BlockHandle> *out_handle,
+                                bool can_destroy = false);
+
+  /// Registers a block of the database file with the pool; reading it (and
+  /// caching it in memory) happens on Pin.
+  std::shared_ptr<BlockHandle> RegisterPersistentBlock(
+      FileBlockManager &block_manager, block_id_t block_id);
+
+  /// Pins the block, loading it from the database file or temporary file if
+  /// it is not resident. May evict other pages to make room.
+  Result<BufferHandle> Pin(const std::shared_ptr<BlockHandle> &handle);
+
+  /// Eagerly destroys a block's contents: frees the memory if loaded, or the
+  /// temporary-file space if spilled (Section III: "we try to eagerly
+  /// destroy temporary pages as soon as they are no longer needed").
+  void DestroyBlock(const std::shared_ptr<BlockHandle> &handle);
+
+  /// Non-paged allocation; see NonPagedAllocation.
+  Result<NonPagedAllocation> AllocateNonPaged(idx_t size);
+
+  /// Reserve / release memory accounted to the pool without the manager
+  /// owning it (used by operators with external allocations).
+  Status ReserveExternalMemory(idx_t size);
+  void FreeExternalMemory(idx_t size);
+
+  idx_t memory_used() const {
+    return memory_used_.load(std::memory_order_relaxed);
+  }
+  idx_t memory_limit() const {
+    return memory_limit_.load(std::memory_order_relaxed);
+  }
+  /// Adjusting the limit only affects future reservations; it does not
+  /// proactively evict.
+  void SetMemoryLimit(idx_t limit) { memory_limit_.store(limit); }
+  EvictionPolicy policy() const { return policy_; }
+  void SetEvictionPolicy(EvictionPolicy policy);
+
+  BufferManagerSnapshot Snapshot() const;
+  TemporaryFileManager &temp_files() { return temp_files_; }
+
+  /// When disabled, temporary pages are never written to temporary files:
+  /// the pool behaves like an in-memory-only engine's (persistent pages
+  /// still evict for free), and reservations fail with OutOfMemory once
+  /// only temporary pages remain. Used by the baseline system models.
+  void SetSpillTemporary(bool spill) { spill_temporary_ = spill; }
+  bool spill_temporary() const { return spill_temporary_; }
+
+ private:
+  friend class BlockHandle;
+  friend class BufferHandle;
+  friend class NonPagedAllocation;
+
+  /// Releases a NonPagedAllocation's charge.
+  void FreeNonPaged(idx_t size);
+
+  struct EvictionEntry {
+    std::weak_ptr<BlockHandle> handle;
+    uint64_t seq;
+  };
+
+  /// Index into queues_: temporaries and persistents may share queue 0
+  /// (mixed policy) or be split.
+  idx_t QueueIndex(BlockKind kind) const;
+
+  /// Makes room for `size` bytes, evicting pages as needed. On success the
+  /// reservation is charged to memory_used_. If an evicted buffer has
+  /// exactly the requested size it is returned for reuse.
+  Result<std::unique_ptr<FileBuffer>> ReserveMemory(idx_t size);
+
+  /// Evicts one block; returns its buffer if it can be reused for
+  /// `reuse_size`, nullptr if memory was freed instead, and an error if no
+  /// evictable block exists.
+  Result<std::unique_ptr<FileBuffer>> EvictOneBlock(idx_t reuse_size);
+
+  /// Writes a temporary block to storage as part of eviction. Called with
+  /// the block lock held.
+  Status SpillBlock(BlockHandle &block);
+
+  /// Called by BufferHandle::Reset.
+  void Unpin(BlockHandle &block);
+  /// Called by ~BlockHandle: release any memory / temp-file space.
+  void CleanupDroppedBlock(BlockHandle &block);
+
+  void ChargeLoaded(BlockKind kind, idx_t size);
+  void DischargeLoaded(BlockKind kind, idx_t size);
+
+  std::string temp_directory_;
+  std::atomic<idx_t> memory_limit_;
+  EvictionPolicy policy_;
+  bool spill_temporary_ = true;
+  TemporaryFileManager temp_files_;
+
+  std::atomic<idx_t> memory_used_{0};
+  std::atomic<idx_t> persistent_loaded_bytes_{0};
+  std::atomic<idx_t> temporary_loaded_bytes_{0};
+  std::atomic<idx_t> non_paged_bytes_{0};
+  std::atomic<block_id_t> next_temp_block_id_{0};
+
+  mutable std::mutex queue_lock_;
+  std::deque<EvictionEntry> queues_[2];
+
+  std::atomic<idx_t> evicted_persistent_count_{0};
+  std::atomic<idx_t> evicted_temporary_count_{0};
+  std::atomic<idx_t> reused_buffers_{0};
+};
+
+}  // namespace ssagg
+
+#endif  // SSAGG_BUFFER_BUFFER_MANAGER_H_

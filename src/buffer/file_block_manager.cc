@@ -1,0 +1,51 @@
+#include "buffer/file_block_manager.h"
+
+#include "common/constants.h"
+
+namespace ssagg {
+
+Result<std::unique_ptr<FileBlockManager>> FileBlockManager::Create(
+    const std::string &path) {
+  FileOpenFlags flags;
+  flags.read = true;
+  flags.write = true;
+  flags.create = true;
+  flags.truncate = true;
+  SSAGG_ASSIGN_OR_RETURN(auto file, FileSystem::Open(path, flags));
+  return std::unique_ptr<FileBlockManager>(
+      new FileBlockManager(std::move(file), path, 0));
+}
+
+Result<std::unique_ptr<FileBlockManager>> FileBlockManager::Open(
+    const std::string &path) {
+  FileOpenFlags flags;
+  flags.read = true;
+  flags.write = true;
+  SSAGG_ASSIGN_OR_RETURN(auto file, FileSystem::Open(path, flags));
+  SSAGG_ASSIGN_OR_RETURN(idx_t size, file->FileSize());
+  if (size % kPageSize != 0) {
+    return Status::IOError("database file size is not a multiple of the page "
+                           "size: " + path);
+  }
+  return std::unique_ptr<FileBlockManager>(
+      new FileBlockManager(std::move(file), path, size / kPageSize));
+}
+
+block_id_t FileBlockManager::AllocateBlock() {
+  return next_block_id_.fetch_add(1);
+}
+
+Status FileBlockManager::WriteBlock(block_id_t id, const FileBuffer &buffer) {
+  SSAGG_DASSERT(buffer.size() == kPageSize);
+  SSAGG_DASSERT(id < next_block_id_.load());
+  return file_->Write(buffer.data(), kPageSize, id * kPageSize);
+}
+
+Status FileBlockManager::ReadBlock(block_id_t id, FileBuffer &buffer) {
+  SSAGG_DASSERT(buffer.size() == kPageSize);
+  return file_->Read(buffer.data(), kPageSize, id * kPageSize);
+}
+
+Status FileBlockManager::Sync() { return file_->Sync(); }
+
+}  // namespace ssagg

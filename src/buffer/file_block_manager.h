@@ -1,0 +1,56 @@
+#ifndef SSAGG_BUFFER_FILE_BLOCK_MANAGER_H_
+#define SSAGG_BUFFER_FILE_BLOCK_MANAGER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "buffer/file_buffer.h"
+#include "common/file_system.h"
+#include "common/status.h"
+
+namespace ssagg {
+
+/// Persistent block storage: a database file organized as an array of
+/// kPageSize blocks. Persistent pages never have dirty state (the paper's
+/// Section III "Compatibility": pages are always fully rewritten because
+/// columnar data is stored compressed), so evicting a persistent page is
+/// free — the contents are already replicated in this file.
+class FileBlockManager {
+ public:
+  static Result<std::unique_ptr<FileBlockManager>> Create(
+      const std::string &path);
+  static Result<std::unique_ptr<FileBlockManager>> Open(
+      const std::string &path);
+
+  /// Reserves a fresh block id.
+  block_id_t AllocateBlock();
+
+  /// Writes the full contents of `buffer` (kPageSize bytes) to the block.
+  Status WriteBlock(block_id_t id, const FileBuffer &buffer);
+
+  /// Reads a block into `buffer`.
+  Status ReadBlock(block_id_t id, FileBuffer &buffer);
+
+  Status Sync();
+
+  idx_t BlockCount() const { return next_block_id_.load(); }
+  const std::string &path() const { return path_; }
+
+ private:
+  FileBlockManager(std::unique_ptr<FileHandle> file, std::string path,
+                   block_id_t next_block_id)
+      : file_(std::move(file)),
+        path_(std::move(path)),
+        next_block_id_(next_block_id) {}
+
+  std::unique_ptr<FileHandle> file_;
+  std::string path_;
+  std::atomic<block_id_t> next_block_id_;
+};
+
+}  // namespace ssagg
+
+#endif  // SSAGG_BUFFER_FILE_BLOCK_MANAGER_H_

@@ -1,0 +1,43 @@
+#ifndef SSAGG_BUFFER_FILE_BUFFER_H_
+#define SSAGG_BUFFER_FILE_BUFFER_H_
+
+#include <cstdlib>
+#include <memory>
+
+#include "common/constants.h"
+#include "common/status.h"
+
+namespace ssagg {
+
+/// An aligned in-memory buffer that backs one page. Buffers for fixed-size
+/// pages are all kPageSize bytes, which lets the buffer pool hand an evicted
+/// buffer straight to the next same-size allocation ("buffer reuse",
+/// Section III).
+class FileBuffer {
+ public:
+  explicit FileBuffer(idx_t size) : size_(size) {
+    void *ptr = nullptr;
+    if (posix_memalign(&ptr, kPageAlignment, size) != 0) {
+      ptr = nullptr;
+    }
+    SSAGG_ASSERT(ptr != nullptr);
+    data_ = static_cast<data_ptr_t>(ptr);
+  }
+
+  ~FileBuffer() { std::free(data_); }
+
+  FileBuffer(const FileBuffer &) = delete;
+  FileBuffer &operator=(const FileBuffer &) = delete;
+
+  data_ptr_t data() { return data_; }
+  const_data_ptr_t data() const { return data_; }
+  idx_t size() const { return size_; }
+
+ private:
+  data_ptr_t data_;
+  idx_t size_;
+};
+
+}  // namespace ssagg
+
+#endif  // SSAGG_BUFFER_FILE_BUFFER_H_

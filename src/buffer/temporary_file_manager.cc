@@ -1,0 +1,148 @@
+#include "buffer/temporary_file_manager.h"
+
+#include <algorithm>
+
+#include "common/constants.h"
+
+namespace ssagg {
+
+TemporaryFileManager::~TemporaryFileManager() {
+  std::lock_guard<std::mutex> guard(lock_);
+  if (fixed_file_) {
+    std::string path = fixed_file_->path();
+    fixed_file_.reset();
+    (void)FileSystem::RemoveFile(path);
+  }
+  for (auto &entry : variable_sizes_) {
+    (void)FileSystem::RemoveFile(VariableFilePath(entry.first));
+  }
+}
+
+Status TemporaryFileManager::EnsureFixedFile() {
+  if (fixed_file_) {
+    return Status::OK();
+  }
+  SSAGG_RETURN_NOT_OK(FileSystem::CreateDirectories(directory_));
+  FileOpenFlags flags;
+  flags.read = true;
+  flags.write = true;
+  flags.create = true;
+  flags.truncate = true;
+  SSAGG_ASSIGN_OR_RETURN(fixed_file_,
+                         FileSystem::Open(directory_ + "/ssagg_temp.tmp",
+                                          flags));
+  return Status::OK();
+}
+
+Result<idx_t> TemporaryFileManager::WriteFixedBlock(const FileBuffer &buffer) {
+  SSAGG_DASSERT(buffer.size() == kPageSize);
+  idx_t slot;
+  {
+    std::lock_guard<std::mutex> guard(lock_);
+    SSAGG_RETURN_NOT_OK(EnsureFixedFile());
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      slot = slot_count_++;
+    }
+    used_slots_++;
+    write_count_++;
+    UpdatePeak();
+  }
+  SSAGG_RETURN_NOT_OK(
+      fixed_file_->Write(buffer.data(), kPageSize, slot * kPageSize));
+  return slot;
+}
+
+Status TemporaryFileManager::ReadFixedBlock(idx_t slot, FileBuffer &buffer) {
+  SSAGG_DASSERT(buffer.size() == kPageSize);
+  SSAGG_RETURN_NOT_OK(
+      fixed_file_->Read(buffer.data(), kPageSize, slot * kPageSize));
+  FreeFixedSlot(slot);
+  {
+    std::lock_guard<std::mutex> guard(lock_);
+    read_count_++;
+  }
+  return Status::OK();
+}
+
+void TemporaryFileManager::FreeFixedSlot(idx_t slot) {
+  std::lock_guard<std::mutex> guard(lock_);
+  free_slots_.push_back(slot);
+  SSAGG_DASSERT(used_slots_ > 0);
+  used_slots_--;
+}
+
+std::string TemporaryFileManager::VariableFilePath(block_id_t id) const {
+  return directory_ + "/ssagg_temp_var_" + std::to_string(id) + ".tmp";
+}
+
+Status TemporaryFileManager::WriteVariableBlock(block_id_t id,
+                                                const FileBuffer &buffer) {
+  {
+    std::lock_guard<std::mutex> guard(lock_);
+    SSAGG_RETURN_NOT_OK(FileSystem::CreateDirectories(directory_));
+    variable_sizes_[id] = buffer.size();
+    write_count_++;
+    UpdatePeak();
+  }
+  FileOpenFlags flags;
+  flags.read = false;
+  flags.write = true;
+  flags.create = true;
+  flags.truncate = true;
+  SSAGG_ASSIGN_OR_RETURN(auto file,
+                         FileSystem::Open(VariableFilePath(id), flags));
+  return file->Write(buffer.data(), buffer.size(), 0);
+}
+
+Status TemporaryFileManager::ReadVariableBlock(block_id_t id,
+                                               FileBuffer &buffer) {
+  FileOpenFlags flags;
+  SSAGG_ASSIGN_OR_RETURN(auto file,
+                         FileSystem::Open(VariableFilePath(id), flags));
+  SSAGG_RETURN_NOT_OK(file->Read(buffer.data(), buffer.size(), 0));
+  file.reset();
+  FreeVariableBlock(id);
+  {
+    std::lock_guard<std::mutex> guard(lock_);
+    read_count_++;
+  }
+  return Status::OK();
+}
+
+void TemporaryFileManager::FreeVariableBlock(block_id_t id) {
+  std::lock_guard<std::mutex> guard(lock_);
+  auto it = variable_sizes_.find(id);
+  if (it == variable_sizes_.end()) {
+    return;
+  }
+  variable_sizes_.erase(it);
+  (void)FileSystem::RemoveFile(VariableFilePath(id));
+}
+
+idx_t TemporaryFileManager::CurrentSize() const {
+  std::lock_guard<std::mutex> guard(lock_);
+  idx_t variable = 0;
+  for (auto &entry : variable_sizes_) {
+    variable += entry.second;
+  }
+  return used_slots_ * kPageSize + variable;
+}
+
+idx_t TemporaryFileManager::PeakSize() const {
+  std::lock_guard<std::mutex> guard(lock_);
+  return peak_size_;
+}
+
+void TemporaryFileManager::UpdatePeak() {
+  // Called with lock_ held.
+  idx_t variable = 0;
+  for (auto &entry : variable_sizes_) {
+    variable += entry.second;
+  }
+  peak_size_ = std::max(peak_size_, used_slots_ * kPageSize + variable);
+}
+
+}  // namespace ssagg

@@ -1,0 +1,76 @@
+#ifndef SSAGG_BUFFER_TEMPORARY_FILE_MANAGER_H_
+#define SSAGG_BUFFER_TEMPORARY_FILE_MANAGER_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "buffer/file_buffer.h"
+#include "common/file_system.h"
+#include "common/status.h"
+
+namespace ssagg {
+
+/// Manages spilled temporary data in storage (Section III, "Temporary
+/// Data"):
+///   - fixed-size pages (kPageSize) go to slots of one shared temporary
+///     file; slots are recycled through a free list so the file does not
+///     grow past the high-water mark of simultaneously spilled pages;
+///   - variable-size pages each go to their own temporary file.
+/// The temporary files are completely separate from the database file.
+class TemporaryFileManager {
+ public:
+  explicit TemporaryFileManager(std::string directory)
+      : directory_(std::move(directory)) {}
+  ~TemporaryFileManager();
+
+  TemporaryFileManager(const TemporaryFileManager &) = delete;
+  TemporaryFileManager &operator=(const TemporaryFileManager &) = delete;
+
+  /// Writes a fixed-size page; returns the slot it occupies.
+  Result<idx_t> WriteFixedBlock(const FileBuffer &buffer);
+  /// Reads a fixed-size page back and releases its slot (a reloaded page is
+  /// eagerly removed from the temporary file; if it is evicted again it is
+  /// simply rewritten).
+  Status ReadFixedBlock(idx_t slot, FileBuffer &buffer);
+  /// Releases a slot without reading (block was destroyed while spilled).
+  void FreeFixedSlot(idx_t slot);
+
+  /// Writes a variable-size block to its own file keyed by block id.
+  Status WriteVariableBlock(block_id_t id, const FileBuffer &buffer);
+  /// Reads a variable-size block back and deletes its file.
+  Status ReadVariableBlock(block_id_t id, FileBuffer &buffer);
+  /// Deletes the file of a destroyed variable-size block.
+  void FreeVariableBlock(block_id_t id);
+
+  /// Bytes currently occupied in temporary storage (both kinds).
+  idx_t CurrentSize() const;
+  /// Highest CurrentSize observed.
+  idx_t PeakSize() const;
+  idx_t WriteCount() const { return write_count_; }
+  idx_t ReadCount() const { return read_count_; }
+
+ private:
+  Status EnsureFixedFile();
+  std::string VariableFilePath(block_id_t id) const;
+  void UpdatePeak();
+
+  std::string directory_;
+
+  mutable std::mutex lock_;
+  std::unique_ptr<FileHandle> fixed_file_;
+  std::vector<idx_t> free_slots_;
+  idx_t slot_count_ = 0;       // high-water slot count of the fixed file
+  idx_t used_slots_ = 0;
+  idx_t variable_bytes_ = 0;   // bytes in per-block variable files
+  std::unordered_map<block_id_t, idx_t> variable_sizes_;
+  idx_t peak_size_ = 0;
+  idx_t write_count_ = 0;
+  idx_t read_count_ = 0;
+};
+
+}  // namespace ssagg
+
+#endif  // SSAGG_BUFFER_TEMPORARY_FILE_MANAGER_H_

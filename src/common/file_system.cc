@@ -1,0 +1,146 @@
+#include "common/file_system.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ssagg {
+
+namespace {
+std::string ErrnoMessage(const std::string &context) {
+  return context + ": " + std::strerror(errno);
+}
+}  // namespace
+
+FileHandle::~FileHandle() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Status FileHandle::Read(void *buffer, idx_t bytes, idx_t offset) {
+  auto *dest = static_cast<uint8_t *>(buffer);
+  idx_t total = 0;
+  while (total < bytes) {
+    ssize_t n = ::pread(fd_, dest + total, bytes - total,
+                        static_cast<off_t>(offset + total));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::IOError(ErrnoMessage("pread " + path_));
+    }
+    if (n == 0) {
+      return Status::IOError("unexpected EOF reading " + path_);
+    }
+    total += static_cast<idx_t>(n);
+  }
+  return Status::OK();
+}
+
+Status FileHandle::Write(const void *buffer, idx_t bytes, idx_t offset) {
+  const auto *src = static_cast<const uint8_t *>(buffer);
+  idx_t total = 0;
+  while (total < bytes) {
+    ssize_t n = ::pwrite(fd_, src + total, bytes - total,
+                         static_cast<off_t>(offset + total));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::IOError(ErrnoMessage("pwrite " + path_));
+    }
+    total += static_cast<idx_t>(n);
+  }
+  return Status::OK();
+}
+
+Status FileHandle::Sync() {
+  if (::fdatasync(fd_) != 0) {
+    return Status::IOError(ErrnoMessage("fdatasync " + path_));
+  }
+  return Status::OK();
+}
+
+Status FileHandle::Truncate(idx_t size) {
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return Status::IOError(ErrnoMessage("ftruncate " + path_));
+  }
+  return Status::OK();
+}
+
+Result<idx_t> FileHandle::FileSize() {
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) {
+    return Status::IOError(ErrnoMessage("fstat " + path_));
+  }
+  return static_cast<idx_t>(st.st_size);
+}
+
+Result<std::unique_ptr<FileHandle>> FileSystem::Open(const std::string &path,
+                                                     FileOpenFlags flags) {
+  int oflags = 0;
+  if (flags.read && flags.write) {
+    oflags = O_RDWR;
+  } else if (flags.write) {
+    oflags = O_WRONLY;
+  } else {
+    oflags = O_RDONLY;
+  }
+  if (flags.create) {
+    oflags |= O_CREAT;
+  }
+  if (flags.truncate) {
+    oflags |= O_TRUNC;
+  }
+  int fd = ::open(path.c_str(), oflags, 0644);
+  if (fd < 0) {
+    return Status::IOError(ErrnoMessage("open " + path));
+  }
+  return std::make_unique<FileHandle>(fd, path);
+}
+
+Status FileSystem::RemoveFile(const std::string &path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::IOError(ErrnoMessage("unlink " + path));
+  }
+  return Status::OK();
+}
+
+bool FileSystem::FileExists(const std::string &path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status FileSystem::CreateDirectories(const std::string &path) {
+  std::string partial;
+  for (idx_t i = 0; i <= path.size(); i++) {
+    if (i == path.size() || path[i] == '/') {
+      if (!partial.empty() && !FileExists(partial)) {
+        if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+          return Status::IOError(ErrnoMessage("mkdir " + partial));
+        }
+      }
+      if (i < path.size()) {
+        partial += '/';
+      }
+      continue;
+    }
+    partial += path[i];
+  }
+  return Status::OK();
+}
+
+Result<idx_t> FileSystem::GetFileSize(const std::string &path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::IOError(ErrnoMessage("stat " + path));
+  }
+  return static_cast<idx_t>(st.st_size);
+}
+
+}  // namespace ssagg

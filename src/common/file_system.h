@@ -1,0 +1,56 @@
+#ifndef SSAGG_COMMON_FILE_SYSTEM_H_
+#define SSAGG_COMMON_FILE_SYSTEM_H_
+
+#include <memory>
+#include <string>
+
+#include "common/constants.h"
+#include "common/status.h"
+
+namespace ssagg {
+
+/// Open flags for FileSystem::Open.
+struct FileOpenFlags {
+  bool read = true;
+  bool write = false;
+  bool create = false;
+  bool truncate = false;
+};
+
+/// A positional-I/O file handle (POSIX pread/pwrite). Thread-safe for
+/// concurrent reads/writes at disjoint offsets, as required by the temporary
+/// file manager and the block manager.
+class FileHandle {
+ public:
+  FileHandle(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  ~FileHandle();
+
+  FileHandle(const FileHandle &) = delete;
+  FileHandle &operator=(const FileHandle &) = delete;
+
+  Status Read(void *buffer, idx_t bytes, idx_t offset);
+  Status Write(const void *buffer, idx_t bytes, idx_t offset);
+  Status Sync();
+  Status Truncate(idx_t size);
+  Result<idx_t> FileSize();
+  const std::string &path() const { return path_; }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+/// Minimal file system abstraction over POSIX.
+class FileSystem {
+ public:
+  static Result<std::unique_ptr<FileHandle>> Open(const std::string &path,
+                                                  FileOpenFlags flags);
+  static Status RemoveFile(const std::string &path);
+  static bool FileExists(const std::string &path);
+  static Status CreateDirectories(const std::string &path);
+  static Result<idx_t> GetFileSize(const std::string &path);
+};
+
+}  // namespace ssagg
+
+#endif  // SSAGG_COMMON_FILE_SYSTEM_H_

@@ -1,0 +1,70 @@
+#include "common/hash.h"
+
+namespace ssagg {
+
+namespace {
+
+constexpr hash_t kNullHash = 0xbf58476d1ce4e5b9ULL;
+
+template <typename T>
+void HashTypedLoop(const Vector &input, idx_t count, hash_t *hashes,
+                   bool combine) {
+  const T *values = input.Values<T>();
+  const auto &validity = input.validity();
+  for (idx_t i = 0; i < count; i++) {
+    hash_t h;
+    if (!validity.RowIsValid(i)) {
+      h = kNullHash;
+    } else if constexpr (std::is_same_v<T, string_t>) {
+      h = HashString(values[i]);
+    } else {
+      uint64_t bits = 0;
+      std::memcpy(&bits, &values[i], sizeof(T));
+      h = HashUint64(bits);
+    }
+    hashes[i] = combine ? CombineHash(hashes[i], h) : h;
+  }
+}
+
+void HashDispatch(const Vector &input, idx_t count, hash_t *hashes,
+                  bool combine) {
+  switch (input.type()) {
+    case LogicalTypeId::kBoolean:
+      HashTypedLoop<uint8_t>(input, count, hashes, combine);
+      break;
+    case LogicalTypeId::kInt32:
+    case LogicalTypeId::kDate:
+      HashTypedLoop<int32_t>(input, count, hashes, combine);
+      break;
+    case LogicalTypeId::kInt64:
+      HashTypedLoop<int64_t>(input, count, hashes, combine);
+      break;
+    case LogicalTypeId::kDouble:
+      HashTypedLoop<double>(input, count, hashes, combine);
+      break;
+    case LogicalTypeId::kVarchar:
+      HashTypedLoop<string_t>(input, count, hashes, combine);
+      break;
+  }
+}
+
+}  // namespace
+
+void VectorHash(const Vector &input, idx_t count, hash_t *hashes) {
+  HashDispatch(input, count, hashes, /*combine=*/false);
+}
+
+void VectorHashCombine(const Vector &input, idx_t count, hash_t *hashes) {
+  HashDispatch(input, count, hashes, /*combine=*/true);
+}
+
+void ChunkHash(const DataChunk &chunk, const std::vector<idx_t> &columns,
+               hash_t *hashes) {
+  SSAGG_ASSERT(!columns.empty());
+  VectorHash(chunk.column(columns[0]), chunk.size(), hashes);
+  for (idx_t c = 1; c < columns.size(); c++) {
+    VectorHashCombine(chunk.column(columns[c]), chunk.size(), hashes);
+  }
+}
+
+}  // namespace ssagg

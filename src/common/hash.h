@@ -1,0 +1,52 @@
+#ifndef SSAGG_COMMON_HASH_H_
+#define SSAGG_COMMON_HASH_H_
+
+#include "common/constants.h"
+#include "common/string_type.h"
+#include "common/vector.h"
+
+namespace ssagg {
+
+/// Murmur3 64-bit finalizer; used as the scalar hash for integer keys.
+inline hash_t HashUint64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Hash of raw bytes (FNV-1a body + murmur finalizer). Used for strings.
+inline hash_t HashBytes(const char *data, idx_t len) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (idx_t i = 0; i < len; i++) {
+    h ^= static_cast<uint8_t>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return HashUint64(h);
+}
+
+inline hash_t HashString(const string_t &str) {
+  return HashBytes(str.data(), str.size());
+}
+
+/// Combines an additional column's hash into an existing row hash.
+inline hash_t CombineHash(hash_t a, hash_t b) {
+  return a * 0x9e3779b97f4a7c15ULL + b;
+}
+
+/// Computes per-row hashes for the first `count` rows of `input` into
+/// `hashes`. NULL values hash to a fixed constant.
+void VectorHash(const Vector &input, idx_t count, hash_t *hashes);
+
+/// Combines per-row hashes of `input` into the existing `hashes` array.
+void VectorHashCombine(const Vector &input, idx_t count, hash_t *hashes);
+
+/// Hashes all `columns` of the chunk row-wise into `hashes`.
+void ChunkHash(const DataChunk &chunk, const std::vector<idx_t> &columns,
+               hash_t *hashes);
+
+}  // namespace ssagg
+
+#endif  // SSAGG_COMMON_HASH_H_

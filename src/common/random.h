@@ -1,0 +1,51 @@
+#ifndef SSAGG_COMMON_RANDOM_H_
+#define SSAGG_COMMON_RANDOM_H_
+
+#include "common/constants.h"
+
+namespace ssagg {
+
+/// Deterministic 64-bit PRNG (splitmix64 seeded xorshift128+). Used by the
+/// data generator and property tests so all runs are reproducible.
+class RandomEngine {
+ public:
+  explicit RandomEngine(uint64_t seed) {
+    // splitmix64 to initialize both lanes from one seed.
+    auto next = [&seed]() {
+      seed += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return z ^ (z >> 31);
+    };
+    s0_ = next();
+    s1_ = next();
+  }
+
+  uint64_t NextUint64() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform value in [0, bound).
+  uint64_t NextRange(uint64_t bound) {
+    return bound == 0 ? 0 : NextUint64() % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * (1.0 / (1ULL << 53));
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace ssagg
+
+#endif  // SSAGG_COMMON_RANDOM_H_

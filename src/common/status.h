@@ -1,0 +1,134 @@
+#ifndef SSAGG_COMMON_STATUS_H_
+#define SSAGG_COMMON_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ssagg {
+
+/// Error categories surfaced through Status. Kept deliberately coarse; the
+/// message carries the detail.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kOutOfMemory,    // memory limit would be exceeded and nothing can be evicted
+  kIOError,        // file system failure
+  kInvalidArgument,
+  kInternal,       // invariant violation
+  kNotImplemented,
+  kTimeout,        // used by the benchmark harness
+  kAborted,        // query gave up (e.g., in-memory-only baseline past limit)
+};
+
+/// Arrow/RocksDB-style status object. Functions that can fail return Status
+/// (or Result<T>); exceptions are not used across library boundaries.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsOutOfMemory() const { return code_ == StatusCode::kOutOfMemory; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  StatusCode code() const { return code_; }
+  const std::string &message() const { return message_; }
+
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T>: either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}     // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status &status() const { return status_; }
+  T &value() { return *value_; }
+  const T &value() const { return *value_; }
+  T &&MoveValue() { return std::move(*value_); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+#define SSAGG_RETURN_NOT_OK(expr)            \
+  do {                                       \
+    ::ssagg::Status _st = (expr);            \
+    if (!_st.ok()) {                         \
+      return _st;                            \
+    }                                        \
+  } while (0)
+
+#define SSAGG_CONCAT_INNER(a, b) a##b
+#define SSAGG_CONCAT(a, b) SSAGG_CONCAT_INNER(a, b)
+
+#define SSAGG_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) {                                  \
+    return tmp.status();                            \
+  }                                                 \
+  lhs = tmp.MoveValue();
+
+#define SSAGG_ASSIGN_OR_RETURN(lhs, expr) \
+  SSAGG_ASSIGN_OR_RETURN_IMPL(SSAGG_CONCAT(_res_, __LINE__), lhs, expr)
+
+/// Internal invariant check: aborts the process with a message. Used for
+/// programming errors, never for runtime conditions (those return Status).
+[[noreturn]] void AssertionFailed(const char *expr, const char *file, int line);
+
+#define SSAGG_ASSERT(expr)                                \
+  do {                                                    \
+    if (!(expr)) {                                        \
+      ::ssagg::AssertionFailed(#expr, __FILE__, __LINE__); \
+    }                                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define SSAGG_DASSERT(expr) ((void)0)
+#else
+#define SSAGG_DASSERT(expr) SSAGG_ASSERT(expr)
+#endif
+
+}  // namespace ssagg
+
+#endif  // SSAGG_COMMON_STATUS_H_

@@ -1,0 +1,77 @@
+#ifndef SSAGG_COMMON_STRING_HEAP_H_
+#define SSAGG_COMMON_STRING_HEAP_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/constants.h"
+#include "common/string_type.h"
+
+namespace ssagg {
+
+/// Arena for the character data of transient vector strings (e.g., produced
+/// by the data generator or by decompressing a persistent column). This is
+/// plain process memory: vectors are short-lived and never spilled. Long-lived
+/// (operator-materialized) strings live on buffer-managed heap pages instead
+/// (see layout/tuple_data_collection.h).
+class StringHeap {
+ public:
+  StringHeap() = default;
+  StringHeap(const StringHeap &) = delete;
+  StringHeap &operator=(const StringHeap &) = delete;
+  StringHeap(StringHeap &&) = default;
+  StringHeap &operator=(StringHeap &&) = default;
+
+  /// Copies the given characters into the arena and returns a string_t
+  /// referencing them (or an inlined string if short enough).
+  string_t Add(std::string_view str) {
+    auto len = static_cast<uint32_t>(str.size());
+    if (len <= string_t::kInlineLength) {
+      return string_t(str.data(), len);
+    }
+    char *dest = Allocate(len);
+    std::memcpy(dest, str.data(), len);
+    return string_t(dest, len);
+  }
+
+  /// Allocates uninitialized space for a non-inlined string.
+  char *Allocate(idx_t len) {
+    if (blocks_.empty() || used_ + len > blocks_.back().size) {
+      idx_t block_size = std::max<idx_t>(len, kBlockSize);
+      blocks_.push_back({std::make_unique<char[]>(block_size), block_size});
+      used_ = 0;
+    }
+    char *result = blocks_.back().data.get() + used_;
+    used_ += len;
+    return result;
+  }
+
+  void Reset() {
+    blocks_.clear();
+    used_ = 0;
+  }
+
+  idx_t SizeInBytes() const {
+    idx_t total = 0;
+    for (auto &block : blocks_) {
+      total += block.size;
+    }
+    return total;
+  }
+
+ private:
+  static constexpr idx_t kBlockSize = 4096;
+
+  struct Block {
+    std::unique_ptr<char[]> data;
+    idx_t size;
+  };
+
+  std::vector<Block> blocks_;
+  idx_t used_ = 0;
+};
+
+}  // namespace ssagg
+
+#endif  // SSAGG_COMMON_STRING_HEAP_H_

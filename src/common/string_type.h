@@ -1,0 +1,111 @@
+#ifndef SSAGG_COMMON_STRING_TYPE_H_
+#define SSAGG_COMMON_STRING_TYPE_H_
+
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/constants.h"
+#include "common/status.h"
+
+namespace ssagg {
+
+/// 16-byte string header as proposed by Umbra and used by DuckDB
+/// (paper Section IV, "Variable-Size Row"):
+///   - bytes 0..3   : length
+///   - strings of <= 12 characters are inlined in bytes 4..15
+///   - longer strings store a 4-byte prefix in bytes 4..7 and a pointer to
+///     the character data in bytes 8..15
+///
+/// The pointer of a non-inlined string may reference a buffer-managed heap
+/// page; when that page is spilled and reloaded at a different address the
+/// pointer is recomputed in place (Section IV, "Pointer Recomputation").
+struct string_t {
+  static constexpr uint32_t kInlineLength = 12;
+  static constexpr uint32_t kPrefixLength = 4;
+
+  string_t() {
+    value.inlined.length = 0;
+    std::memset(value.inlined.inlined, 0, kInlineLength);
+  }
+
+  /// Construct from existing character data. For strings longer than the
+  /// inline threshold the data pointer is referenced, NOT copied; the caller
+  /// must guarantee the data outlives the string_t (e.g., heap page).
+  string_t(const char *data, uint32_t len) {
+    value.inlined.length = len;
+    if (IsInlined()) {
+      std::memset(value.inlined.inlined, 0, kInlineLength);
+      if (len > 0) {
+        std::memcpy(value.inlined.inlined, data, len);
+      }
+    } else {
+      std::memcpy(value.pointer.prefix, data, kPrefixLength);
+      value.pointer.ptr = const_cast<char *>(data);
+    }
+  }
+
+  explicit string_t(std::string_view view)
+      : string_t(view.data(), static_cast<uint32_t>(view.size())) {}
+
+  uint32_t size() const { return value.inlined.length; }
+  bool IsInlined() const { return size() <= kInlineLength; }
+
+  /// Pointer to the character data (inline or out-of-line).
+  const char *data() const {
+    return IsInlined() ? value.inlined.inlined : value.pointer.ptr;
+  }
+
+  /// Mutable pointer to the out-of-line data pointer; only valid when not
+  /// inlined. Used by pointer recomputation after a heap page moved.
+  char *&PointerRef() {
+    SSAGG_DASSERT(!IsInlined());
+    return value.pointer.ptr;
+  }
+  const char *Pointer() const {
+    SSAGG_DASSERT(!IsInlined());
+    return value.pointer.ptr;
+  }
+  void SetPointer(char *ptr) {
+    SSAGG_DASSERT(!IsInlined());
+    value.pointer.ptr = ptr;
+  }
+
+  std::string_view View() const { return {data(), size()}; }
+  std::string ToString() const { return std::string(data(), size()); }
+
+  bool operator==(const string_t &other) const {
+    if (size() != other.size()) {
+      return false;
+    }
+    // Compare length+prefix (first 8 bytes) before touching the pointer; for
+    // inlined strings this covers the first bytes directly.
+    if (std::memcmp(this, &other, 8) != 0) {
+      return false;
+    }
+    return std::memcmp(data(), other.data(), size()) == 0;
+  }
+  bool operator!=(const string_t &other) const { return !(*this == other); }
+
+  bool operator<(const string_t &other) const {
+    return View() < other.View();
+  }
+
+  union {
+    struct {
+      uint32_t length;
+      char prefix[4];
+      char *ptr;
+    } pointer;
+    struct {
+      uint32_t length;
+      char inlined[12];
+    } inlined;
+  } value;
+};
+
+static_assert(sizeof(string_t) == 16, "string_t must be 16 bytes");
+
+}  // namespace ssagg
+
+#endif  // SSAGG_COMMON_STRING_TYPE_H_

@@ -1,0 +1,48 @@
+#include "common/types.h"
+
+namespace ssagg {
+
+idx_t TypeWidth(LogicalTypeId type) {
+  switch (type) {
+    case LogicalTypeId::kBoolean:
+      return 1;
+    case LogicalTypeId::kInt32:
+    case LogicalTypeId::kDate:
+      return 4;
+    case LogicalTypeId::kInt64:
+    case LogicalTypeId::kDouble:
+      return 8;
+    case LogicalTypeId::kVarchar:
+      return 16;
+  }
+  SSAGG_ASSERT(false);
+}
+
+const char *TypeName(LogicalTypeId type) {
+  switch (type) {
+    case LogicalTypeId::kBoolean:
+      return "BOOLEAN";
+    case LogicalTypeId::kInt32:
+      return "INT32";
+    case LogicalTypeId::kInt64:
+      return "INT64";
+    case LogicalTypeId::kDouble:
+      return "DOUBLE";
+    case LogicalTypeId::kDate:
+      return "DATE";
+    case LogicalTypeId::kVarchar:
+      return "VARCHAR";
+  }
+  return "UNKNOWN";
+}
+
+idx_t SchemaColumnIndex(const Schema &schema, const std::string &name) {
+  for (idx_t i = 0; i < schema.size(); i++) {
+    if (schema[i].name == name) {
+      return i;
+    }
+  }
+  return kInvalidIndex;
+}
+
+}  // namespace ssagg

@@ -1,0 +1,52 @@
+#ifndef SSAGG_COMMON_TYPES_H_
+#define SSAGG_COMMON_TYPES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/constants.h"
+#include "common/status.h"
+
+namespace ssagg {
+
+/// Logical column types supported by the engine. This set covers the TPC-H
+/// lineitem schema used by the paper's grouping benchmark.
+enum class LogicalTypeId : uint8_t {
+  kBoolean,
+  kInt32,
+  kInt64,
+  kDouble,
+  kDate,     // days since epoch, stored as int32
+  kVarchar,  // 16-byte string_t, heap-backed when longer than 12 chars
+};
+
+/// Physical width in bytes of a value of the given type inside vectors and
+/// row layouts. VARCHAR is the 16-byte Umbra-style string header.
+idx_t TypeWidth(LogicalTypeId type);
+
+/// True if values of this type reference out-of-row (heap) data.
+inline bool TypeIsVarSize(LogicalTypeId type) {
+  return type == LogicalTypeId::kVarchar;
+}
+
+inline bool TypeIsNumeric(LogicalTypeId type) {
+  return type == LogicalTypeId::kInt32 || type == LogicalTypeId::kInt64 ||
+         type == LogicalTypeId::kDouble || type == LogicalTypeId::kDate;
+}
+
+const char *TypeName(LogicalTypeId type);
+
+/// A named, typed column in a schema.
+struct ColumnDefinition {
+  std::string name;
+  LogicalTypeId type;
+};
+
+using Schema = std::vector<ColumnDefinition>;
+
+/// Returns the index of the named column, or kInvalidIndex.
+idx_t SchemaColumnIndex(const Schema &schema, const std::string &name);
+
+}  // namespace ssagg
+
+#endif  // SSAGG_COMMON_TYPES_H_

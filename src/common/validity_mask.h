@@ -1,0 +1,71 @@
+#ifndef SSAGG_COMMON_VALIDITY_MASK_H_
+#define SSAGG_COMMON_VALIDITY_MASK_H_
+
+#include <vector>
+
+#include "common/constants.h"
+
+namespace ssagg {
+
+/// Bit mask tracking NULL-ness of values in a vector. A set bit means the
+/// value is valid (non-NULL). The all-valid state is represented without
+/// allocating the bit array.
+class ValidityMask {
+ public:
+  ValidityMask() = default;
+
+  bool AllValid() const { return bits_.empty(); }
+
+  bool RowIsValid(idx_t row) const {
+    idx_t word = row >> 6;
+    if (word >= bits_.size()) {
+      return true;  // rows beyond the materialized words are valid
+    }
+    return (bits_[word] >> (row & 63)) & 1;
+  }
+
+  void SetInvalid(idx_t row) {
+    EnsureCapacity(row + 1);
+    bits_[row >> 6] &= ~(1ULL << (row & 63));
+  }
+
+  void SetValid(idx_t row) {
+    if (AllValid()) {
+      return;  // already valid
+    }
+    if ((row >> 6) < bits_.size()) {
+      bits_[row >> 6] |= 1ULL << (row & 63);
+    }
+  }
+
+  void Reset() { bits_.clear(); }
+
+  void CopyFrom(const ValidityMask &other) { bits_ = other.bits_; }
+
+  /// Number of valid rows among the first count rows.
+  idx_t CountValid(idx_t count) const {
+    if (AllValid()) {
+      return count;
+    }
+    idx_t valid = 0;
+    for (idx_t i = 0; i < count; i++) {
+      valid += RowIsValid(i) ? 1 : 0;
+    }
+    return valid;
+  }
+
+ private:
+  void EnsureCapacity(idx_t rows) {
+    idx_t words = (rows + 63) / 64;
+    if (bits_.size() < words) {
+      // Newly-tracked rows start valid (all bits set).
+      bits_.resize(words, ~0ULL);
+    }
+  }
+
+  std::vector<uint64_t> bits_;
+};
+
+}  // namespace ssagg
+
+#endif  // SSAGG_COMMON_VALIDITY_MASK_H_

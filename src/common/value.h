@@ -1,0 +1,102 @@
+#ifndef SSAGG_COMMON_VALUE_H_
+#define SSAGG_COMMON_VALUE_H_
+
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "common/vector.h"
+
+namespace ssagg {
+
+/// An owned, boxed scalar value. Used at the edges of the engine (result
+/// collection, tests, examples) — never on the hot path.
+class Value {
+ public:
+  Value() : type_(LogicalTypeId::kInt64), is_null_(true) {}
+
+  static Value Null(LogicalTypeId type) {
+    Value v;
+    v.type_ = type;
+    v.is_null_ = true;
+    return v;
+  }
+  static Value Int32(int32_t v) {
+    return Value(LogicalTypeId::kInt32, static_cast<int64_t>(v));
+  }
+  static Value Int64(int64_t v) { return Value(LogicalTypeId::kInt64, v); }
+  static Value Double(double v) { return Value(LogicalTypeId::kDouble, v); }
+  static Value String(std::string v) {
+    Value value;
+    value.type_ = LogicalTypeId::kVarchar;
+    value.is_null_ = false;
+    value.data_ = std::move(v);
+    return value;
+  }
+
+  /// Boxes row `row` of `vec`.
+  static Value FromVector(const Vector &vec, idx_t row) {
+    if (!vec.validity().RowIsValid(row)) {
+      return Null(vec.type());
+    }
+    switch (vec.type()) {
+      case LogicalTypeId::kBoolean:
+        return Value(vec.type(),
+                     static_cast<int64_t>(vec.GetValue<uint8_t>(row)));
+      case LogicalTypeId::kInt32:
+      case LogicalTypeId::kDate:
+        return Value(vec.type(),
+                     static_cast<int64_t>(vec.GetValue<int32_t>(row)));
+      case LogicalTypeId::kInt64:
+        return Value(vec.type(), vec.GetValue<int64_t>(row));
+      case LogicalTypeId::kDouble:
+        return Value(vec.type(), vec.GetValue<double>(row));
+      case LogicalTypeId::kVarchar:
+        return String(vec.GetString(row).ToString());
+    }
+    return Value();
+  }
+
+  LogicalTypeId type() const { return type_; }
+  bool IsNull() const { return is_null_; }
+
+  int64_t GetInt64() const { return std::get<int64_t>(data_); }
+  double GetDouble() const { return std::get<double>(data_); }
+  const std::string &GetString() const { return std::get<std::string>(data_); }
+
+  std::string ToString() const {
+    if (is_null_) {
+      return "NULL";
+    }
+    switch (type_) {
+      case LogicalTypeId::kDouble:
+        return std::to_string(GetDouble());
+      case LogicalTypeId::kVarchar:
+        return GetString();
+      default:
+        return std::to_string(GetInt64());
+    }
+  }
+
+  bool operator==(const Value &other) const {
+    return type_ == other.type_ && is_null_ == other.is_null_ &&
+           (is_null_ || data_ == other.data_);
+  }
+
+ private:
+  Value(LogicalTypeId type, int64_t v) : type_(type), is_null_(false) {
+    data_ = v;
+  }
+  Value(LogicalTypeId type, double v) : type_(type), is_null_(false) {
+    data_ = v;
+  }
+
+  LogicalTypeId type_;
+  bool is_null_;
+  std::variant<int64_t, double, std::string> data_;
+};
+
+}  // namespace ssagg
+
+#endif  // SSAGG_COMMON_VALUE_H_

@@ -1,0 +1,151 @@
+#ifndef SSAGG_COMMON_VECTOR_H_
+#define SSAGG_COMMON_VECTOR_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/constants.h"
+#include "common/status.h"
+#include "common/string_heap.h"
+#include "common/string_type.h"
+#include "common/types.h"
+#include "common/validity_mask.h"
+
+namespace ssagg {
+
+/// A flat, fixed-capacity (kVectorSize) column of values, the unit of
+/// vectorized execution. VARCHAR vectors own a StringHeap for the character
+/// data of non-inlined strings written through SetString.
+class Vector {
+ public:
+  explicit Vector(LogicalTypeId type)
+      : type_(type),
+        width_(TypeWidth(type)),
+        data_(new data_t[width_ * kVectorSize]) {}
+
+  Vector(const Vector &) = delete;
+  Vector &operator=(const Vector &) = delete;
+  Vector(Vector &&) = default;
+  Vector &operator=(Vector &&) = default;
+
+  LogicalTypeId type() const { return type_; }
+  idx_t width() const { return width_; }
+
+  data_ptr_t data() { return data_.get(); }
+  const_data_ptr_t data() const { return data_.get(); }
+
+  template <typename T>
+  T *Values() {
+    SSAGG_DASSERT(sizeof(T) == width_);
+    return reinterpret_cast<T *>(data_.get());
+  }
+  template <typename T>
+  const T *Values() const {
+    SSAGG_DASSERT(sizeof(T) == width_);
+    return reinterpret_cast<const T *>(data_.get());
+  }
+
+  template <typename T>
+  T GetValue(idx_t row) const {
+    return Values<T>()[row];
+  }
+  template <typename T>
+  void SetValue(idx_t row, T value) {
+    Values<T>()[row] = value;
+  }
+
+  /// Copies the string into this vector's heap (if non-inlined) and stores
+  /// the resulting string_t at the given row.
+  void SetString(idx_t row, std::string_view str) {
+    SSAGG_DASSERT(type_ == LogicalTypeId::kVarchar);
+    Values<string_t>()[row] = heap_.Add(str);
+  }
+
+  string_t GetString(idx_t row) const {
+    SSAGG_DASSERT(type_ == LogicalTypeId::kVarchar);
+    return Values<string_t>()[row];
+  }
+
+  ValidityMask &validity() { return validity_; }
+  const ValidityMask &validity() const { return validity_; }
+
+  StringHeap &heap() { return heap_; }
+
+  /// Clears validity and releases heap strings; value bytes are left stale.
+  void Reset() {
+    validity_.Reset();
+    heap_.Reset();
+  }
+
+ private:
+  LogicalTypeId type_;
+  idx_t width_;
+  std::unique_ptr<data_t[]> data_;
+  ValidityMask validity_;
+  StringHeap heap_;
+};
+
+/// Copies the first `count` values of `src` into `dst` (same type).
+/// String values are copied shallowly: they keep referencing `src`'s heap
+/// (or the pages `src` points into), so `dst` must not outlive `src`'s
+/// backing storage. Used to assemble operator-internal chunks that are
+/// consumed immediately.
+inline void CopyVectorShallow(const Vector &src, Vector &dst, idx_t count) {
+  SSAGG_DASSERT(src.type() == dst.type());
+  std::memcpy(dst.data(), src.data(), count * src.width());
+  dst.validity().CopyFrom(src.validity());
+}
+
+/// A horizontal batch of vectors sharing one row count (<= kVectorSize).
+class DataChunk {
+ public:
+  DataChunk() = default;
+
+  explicit DataChunk(const std::vector<LogicalTypeId> &types) {
+    Initialize(types);
+  }
+
+  void Initialize(const std::vector<LogicalTypeId> &types) {
+    columns_.clear();
+    columns_.reserve(types.size());
+    for (auto type : types) {
+      columns_.emplace_back(type);
+    }
+    count_ = 0;
+  }
+
+  idx_t ColumnCount() const { return columns_.size(); }
+  idx_t size() const { return count_; }
+  void SetCount(idx_t count) {
+    SSAGG_DASSERT(count <= kVectorSize);
+    count_ = count;
+  }
+
+  Vector &column(idx_t i) { return columns_[i]; }
+  const Vector &column(idx_t i) const { return columns_[i]; }
+
+  std::vector<LogicalTypeId> Types() const {
+    std::vector<LogicalTypeId> types;
+    types.reserve(columns_.size());
+    for (auto &col : columns_) {
+      types.push_back(col.type());
+    }
+    return types;
+  }
+
+  void Reset() {
+    for (auto &col : columns_) {
+      col.Reset();
+    }
+    count_ = 0;
+  }
+
+ private:
+  std::vector<Vector> columns_;
+  idx_t count_ = 0;
+};
+
+}  // namespace ssagg
+
+#endif  // SSAGG_COMMON_VECTOR_H_

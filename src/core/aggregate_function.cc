@@ -1,0 +1,329 @@
+#include "core/aggregate_function.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ssagg {
+
+namespace {
+
+// All states start as all-zero bytes; `seen == 0` encodes "no non-NULL
+// input yet", which finalizes to NULL.
+
+template <typename T>
+struct ValueState {
+  T value;
+  uint64_t seen;
+};
+
+struct AvgState {
+  double sum;
+  uint64_t count;
+};
+
+struct CountState {
+  int64_t count;
+};
+
+template <typename T>
+T LoadValue(const Vector &input, idx_t row) {
+  T value;
+  std::memcpy(&value, input.data() + row * sizeof(T), sizeof(T));
+  return value;
+}
+
+//===--------------------------------------------------------------------===//
+// COUNT(*) / COUNT(col)
+//===--------------------------------------------------------------------===//
+
+void CountStarUpdate(const Vector *, const idx_t *, data_ptr_t *states,
+                     idx_t count) {
+  for (idx_t i = 0; i < count; i++) {
+    reinterpret_cast<CountState *>(states[i])->count++;
+  }
+}
+
+void CountUpdate(const Vector *input, const idx_t *sel, data_ptr_t *states,
+                 idx_t count) {
+  for (idx_t i = 0; i < count; i++) {
+    idx_t r = sel ? sel[i] : i;
+    if (input->validity().RowIsValid(r)) {
+      reinterpret_cast<CountState *>(states[i])->count++;
+    }
+  }
+}
+
+void CountCombine(const_data_ptr_t src, data_ptr_t dst) {
+  reinterpret_cast<CountState *>(dst)->count +=
+      reinterpret_cast<const CountState *>(src)->count;
+}
+
+void CountFinalize(const_data_ptr_t state, Vector &out, idx_t out_row) {
+  out.SetValue<int64_t>(out_row,
+                        reinterpret_cast<const CountState *>(state)->count);
+}
+
+//===--------------------------------------------------------------------===//
+// SUM / MIN / MAX / ANY_VALUE over numeric types
+//===--------------------------------------------------------------------===//
+
+struct SumOp {
+  template <typename T, typename ACC>
+  static void Merge(ValueState<ACC> &state, T value) {
+    state.value += static_cast<ACC>(value);
+    state.seen = 1;
+  }
+  template <typename ACC>
+  static void Combine(const ValueState<ACC> &src, ValueState<ACC> &dst) {
+    if (src.seen) {
+      dst.value += src.value;
+      dst.seen = 1;
+    }
+  }
+};
+
+struct MinOp {
+  template <typename T, typename ACC>
+  static void Merge(ValueState<ACC> &state, T value) {
+    if (!state.seen || static_cast<ACC>(value) < state.value) {
+      state.value = static_cast<ACC>(value);
+    }
+    state.seen = 1;
+  }
+  template <typename ACC>
+  static void Combine(const ValueState<ACC> &src, ValueState<ACC> &dst) {
+    if (src.seen && (!dst.seen || src.value < dst.value)) {
+      dst.value = src.value;
+    }
+    dst.seen |= src.seen;
+  }
+};
+
+struct MaxOp {
+  template <typename T, typename ACC>
+  static void Merge(ValueState<ACC> &state, T value) {
+    if (!state.seen || static_cast<ACC>(value) > state.value) {
+      state.value = static_cast<ACC>(value);
+    }
+    state.seen = 1;
+  }
+  template <typename ACC>
+  static void Combine(const ValueState<ACC> &src, ValueState<ACC> &dst) {
+    if (src.seen && (!dst.seen || src.value > dst.value)) {
+      dst.value = src.value;
+    }
+    dst.seen |= src.seen;
+  }
+};
+
+struct AnyValueOp {
+  template <typename T, typename ACC>
+  static void Merge(ValueState<ACC> &state, T value) {
+    if (!state.seen) {
+      state.value = static_cast<ACC>(value);
+      state.seen = 1;
+    }
+  }
+  template <typename ACC>
+  static void Combine(const ValueState<ACC> &src, ValueState<ACC> &dst) {
+    if (!dst.seen && src.seen) {
+      dst.value = src.value;
+      dst.seen = 1;
+    }
+  }
+};
+
+template <typename T, typename ACC, typename OP>
+void ValueUpdate(const Vector *input, const idx_t *sel, data_ptr_t *states,
+                 idx_t count) {
+  for (idx_t i = 0; i < count; i++) {
+    idx_t r = sel ? sel[i] : i;
+    if (!input->validity().RowIsValid(r)) {
+      continue;
+    }
+    OP::template Merge<T, ACC>(
+        *reinterpret_cast<ValueState<ACC> *>(states[i]), LoadValue<T>(*input, r));
+  }
+}
+
+template <typename ACC, typename OP>
+void ValueCombine(const_data_ptr_t src, data_ptr_t dst) {
+  OP::template Combine<ACC>(*reinterpret_cast<const ValueState<ACC> *>(src),
+                            *reinterpret_cast<ValueState<ACC> *>(dst));
+}
+
+template <typename ACC, typename OUT>
+void ValueFinalize(const_data_ptr_t state, Vector &out, idx_t out_row) {
+  const auto *s = reinterpret_cast<const ValueState<ACC> *>(state);
+  if (!s->seen) {
+    out.validity().SetInvalid(out_row);
+    out.SetValue<OUT>(out_row, OUT());
+    return;
+  }
+  out.SetValue<OUT>(out_row, static_cast<OUT>(s->value));
+}
+
+//===--------------------------------------------------------------------===//
+// AVG
+//===--------------------------------------------------------------------===//
+
+template <typename T>
+void AvgUpdate(const Vector *input, const idx_t *sel, data_ptr_t *states,
+               idx_t count) {
+  for (idx_t i = 0; i < count; i++) {
+    idx_t r = sel ? sel[i] : i;
+    if (!input->validity().RowIsValid(r)) {
+      continue;
+    }
+    auto *s = reinterpret_cast<AvgState *>(states[i]);
+    s->sum += static_cast<double>(LoadValue<T>(*input, r));
+    s->count++;
+  }
+}
+
+void AvgCombine(const_data_ptr_t src, data_ptr_t dst) {
+  const auto *s = reinterpret_cast<const AvgState *>(src);
+  auto *d = reinterpret_cast<AvgState *>(dst);
+  d->sum += s->sum;
+  d->count += s->count;
+}
+
+void AvgFinalize(const_data_ptr_t state, Vector &out, idx_t out_row) {
+  const auto *s = reinterpret_cast<const AvgState *>(state);
+  if (s->count == 0) {
+    out.validity().SetInvalid(out_row);
+    out.SetValue<double>(out_row, 0.0);
+    return;
+  }
+  out.SetValue<double>(out_row, s->sum / static_cast<double>(s->count));
+}
+
+template <typename T, typename ACC, typename OP, typename OUT>
+AggregateFunction MakeValueAggregate(AggregateKind kind,
+                                     LogicalTypeId input_type,
+                                     LogicalTypeId result_type) {
+  AggregateFunction fn;
+  fn.kind = kind;
+  fn.input_type = input_type;
+  fn.result_type = result_type;
+  fn.state_width = sizeof(ValueState<ACC>);
+  fn.update = ValueUpdate<T, ACC, OP>;
+  fn.combine = ValueCombine<ACC, OP>;
+  fn.finalize = ValueFinalize<ACC, OUT>;
+  return fn;
+}
+
+template <typename OP>
+Result<AggregateFunction> DispatchValueAggregate(AggregateKind kind,
+                                                 LogicalTypeId input_type,
+                                                 bool sum_widens) {
+  switch (input_type) {
+    case LogicalTypeId::kInt32:
+    case LogicalTypeId::kDate:
+      if (sum_widens) {
+        return MakeValueAggregate<int32_t, int64_t, OP, int64_t>(
+            kind, input_type, LogicalTypeId::kInt64);
+      }
+      return MakeValueAggregate<int32_t, int32_t, OP, int32_t>(kind, input_type,
+                                                               input_type);
+    case LogicalTypeId::kInt64:
+      return MakeValueAggregate<int64_t, int64_t, OP, int64_t>(
+          kind, input_type, LogicalTypeId::kInt64);
+    case LogicalTypeId::kDouble:
+      return MakeValueAggregate<double, double, OP, double>(
+          kind, input_type, LogicalTypeId::kDouble);
+    default:
+      return Status::InvalidArgument(
+          std::string("unsupported input type for aggregate ") +
+          AggregateKindName(kind) + ": " + TypeName(input_type));
+  }
+}
+
+}  // namespace
+
+const char *AggregateKindName(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kCountStar:
+      return "COUNT(*)";
+    case AggregateKind::kCount:
+      return "COUNT";
+    case AggregateKind::kSum:
+      return "SUM";
+    case AggregateKind::kMin:
+      return "MIN";
+    case AggregateKind::kMax:
+      return "MAX";
+    case AggregateKind::kAvg:
+      return "AVG";
+    case AggregateKind::kAnyValue:
+      return "ANY_VALUE";
+  }
+  return "UNKNOWN";
+}
+
+Result<AggregateFunction> GetAggregateFunction(AggregateKind kind,
+                                               LogicalTypeId input_type) {
+  switch (kind) {
+    case AggregateKind::kCountStar: {
+      AggregateFunction fn;
+      fn.kind = kind;
+      fn.result_type = LogicalTypeId::kInt64;
+      fn.state_width = sizeof(CountState);
+      fn.update = CountStarUpdate;
+      fn.combine = CountCombine;
+      fn.finalize = CountFinalize;
+      return fn;
+    }
+    case AggregateKind::kCount: {
+      AggregateFunction fn;
+      fn.kind = kind;
+      fn.input_type = input_type;
+      fn.result_type = LogicalTypeId::kInt64;
+      fn.state_width = sizeof(CountState);
+      fn.update = CountUpdate;
+      fn.combine = CountCombine;
+      fn.finalize = CountFinalize;
+      return fn;
+    }
+    case AggregateKind::kSum:
+      return DispatchValueAggregate<SumOp>(kind, input_type,
+                                           /*sum_widens=*/true);
+    case AggregateKind::kMin:
+      return DispatchValueAggregate<MinOp>(kind, input_type, false);
+    case AggregateKind::kMax:
+      return DispatchValueAggregate<MaxOp>(kind, input_type, false);
+    case AggregateKind::kAvg: {
+      AggregateFunction fn;
+      fn.kind = kind;
+      fn.input_type = input_type;
+      fn.result_type = LogicalTypeId::kDouble;
+      fn.state_width = sizeof(AvgState);
+      switch (input_type) {
+        case LogicalTypeId::kInt32:
+        case LogicalTypeId::kDate:
+          fn.update = AvgUpdate<int32_t>;
+          break;
+        case LogicalTypeId::kInt64:
+          fn.update = AvgUpdate<int64_t>;
+          break;
+        case LogicalTypeId::kDouble:
+          fn.update = AvgUpdate<double>;
+          break;
+        default:
+          return Status::InvalidArgument("unsupported input type for AVG: " +
+                                         std::string(TypeName(input_type)));
+      }
+      fn.combine = AvgCombine;
+      fn.finalize = AvgFinalize;
+      return fn;
+    }
+    case AggregateKind::kAnyValue:
+      // Numeric ANY_VALUE via states; VARCHAR ANY_VALUE is handled as a
+      // write-once payload column in the row layout (see
+      // grouped_aggregate_hash_table.h), not through this path.
+      return DispatchValueAggregate<AnyValueOp>(kind, input_type, false);
+  }
+  return Status::InvalidArgument("unknown aggregate kind");
+}
+
+}  // namespace ssagg

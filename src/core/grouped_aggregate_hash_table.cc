@@ -1,0 +1,329 @@
+#include "core/grouped_aggregate_hash_table.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/string_type.h"
+
+namespace ssagg {
+
+namespace {
+bool IsPowerOfTwo(idx_t x) { return x != 0 && (x & (x - 1)) == 0; }
+}  // namespace
+
+GroupedAggregateHashTable::GroupedAggregateHashTable(
+    BufferManager &buffer_manager, Config config)
+    : buffer_manager_(buffer_manager), config_(config) {}
+
+Result<std::unique_ptr<GroupedAggregateHashTable>>
+GroupedAggregateHashTable::Create(BufferManager &buffer_manager,
+                                  const std::vector<LogicalTypeId> &input_types,
+                                  const std::vector<idx_t> &group_columns,
+                                  const std::vector<AggregateRequest> &aggregates,
+                                  Config config) {
+  SSAGG_ASSIGN_OR_RETURN(
+      auto row_layout,
+      AggregateRowLayout::Build(input_types, group_columns, aggregates));
+  return Create(buffer_manager, row_layout, config);
+}
+
+Result<std::unique_ptr<GroupedAggregateHashTable>>
+GroupedAggregateHashTable::Create(BufferManager &buffer_manager,
+                                  const AggregateRowLayout &row_layout,
+                                  Config config) {
+  if (!IsPowerOfTwo(config.capacity) ||
+      config.capacity > (idx_t(1) << kMaxHashTableBits)) {
+    return Status::InvalidArgument(
+        "hash table capacity must be a power of two <= 2^24");
+  }
+  if (config.radix_bits > kMaxRadixBits) {
+    return Status::InvalidArgument("too many radix bits");
+  }
+  std::unique_ptr<GroupedAggregateHashTable> ht(
+      new GroupedAggregateHashTable(buffer_manager, config));
+  SSAGG_RETURN_NOT_OK(ht->Initialize(row_layout));
+  return ht;
+}
+
+Status GroupedAggregateHashTable::Initialize(AggregateRowLayout row_layout) {
+  row_layout_ = std::move(row_layout);
+
+  data_ = std::make_unique<PartitionedTupleData>(
+      buffer_manager_, row_layout_.layout, config_.radix_bits);
+  capacity_ = config_.capacity;
+  mask_ = capacity_ - 1;
+  SSAGG_ASSIGN_OR_RETURN(entries_alloc_,
+                         buffer_manager_.AllocateNonPaged(capacity_ * 8));
+  std::memset(entries_alloc_.data(), 0, capacity_ * 8);
+
+  append_chunk_.Initialize(row_layout_.layout.Types());
+  hashes_.resize(kVectorSize);
+  row_ptrs_.resize(kVectorSize);
+  state_ptrs_.resize(kVectorSize);
+  sel_scratch_.resize(kVectorSize);
+  return Status::OK();
+}
+
+std::vector<LogicalTypeId> GroupedAggregateHashTable::OutputTypes() const {
+  return row_layout_.OutputTypes();
+}
+
+bool GroupedAggregateHashTable::RowMatches(const DataChunk &layout_chunk,
+                                           idx_t r,
+                                           const_data_ptr_t row) const {
+  const TupleDataLayout &layout = row_layout_.layout;
+  // Compare the stored hash first (cheap 8-byte check), then group columns.
+  {
+    hash_t row_hash;
+    std::memcpy(&row_hash, row + row_layout_.hash_offset, sizeof(hash_t));
+    hash_t in_hash;
+    std::memcpy(&in_hash,
+                layout_chunk.column(row_layout_.hash_column).data() +
+                    r * sizeof(hash_t),
+                sizeof(hash_t));
+    if (row_hash != in_hash) {
+      return false;
+    }
+  }
+  for (idx_t c = 0; c < row_layout_.group_count; c++) {
+    const Vector &vec = layout_chunk.column(c);
+    bool in_valid = vec.validity().RowIsValid(r);
+    bool row_valid = layout.RowIsColumnValid(row, c);
+    if (in_valid != row_valid) {
+      return false;
+    }
+    if (!in_valid) {
+      continue;  // NULL == NULL for grouping
+    }
+    idx_t offset = layout.ColumnOffset(c);
+    if (TypeIsVarSize(layout.ColumnType(c))) {
+      string_t stored;
+      std::memcpy(&stored, row + offset, sizeof(string_t));
+      const string_t &input = vec.Values<string_t>()[r];
+      if (stored != input) {
+        return false;
+      }
+    } else {
+      idx_t width = TypeWidth(layout.ColumnType(c));
+      if (std::memcmp(row + offset, vec.data() + r * width, width) != 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Status GroupedAggregateHashTable::FindOrCreateGroups(
+    const DataChunk &layout_chunk, const hash_t *hashes, idx_t start,
+    idx_t count) {
+  uint64_t *table = entries();
+  const bool use_salt = config_.use_salt;
+  for (idx_t r = start; r < start + count; r++) {
+    // Grow / guard *before* inserting so the table never fills up
+    // completely (linear probing needs empty slots to terminate).
+    if (config_.resizable) {
+      if (count_ >= capacity_ * config_.reset_fill_ratio) {
+        SSAGG_RETURN_NOT_OK(Resize());
+        table = entries();
+      }
+    } else {
+      SSAGG_ASSERT(count_ < capacity_);
+    }
+    const hash_t h = hashes[r];
+    const uint16_t salt = ExtractSalt(h);
+    idx_t idx = h & mask_;
+    while (true) {
+      stats_.probe_steps++;
+      uint64_t entry = table[idx];
+      if (entry == 0) {
+        // New group: materialize the row directly into its radix partition
+        // (column-major -> row-major conversion happens here).
+        SSAGG_ASSIGN_OR_RETURN(data_ptr_t row,
+                               data_->AppendRow(layout_chunk, h, r));
+        table[idx] = MakeEntry(row, salt);
+        count_++;
+        stats_.inserts++;
+        row_ptrs_[r] = row;
+        break;
+      }
+      if (!use_salt || EntrySalt(entry) == salt) {
+        data_ptr_t row = EntryPointer(entry);
+        stats_.key_compares++;
+        if (RowMatches(layout_chunk, r, row)) {
+          row_ptrs_[r] = row;
+          break;
+        }
+        stats_.key_compare_misses++;
+      }
+      idx = (idx + 1) & mask_;
+    }
+  }
+  return Status::OK();
+}
+
+Status GroupedAggregateHashTable::AddChunk(const DataChunk &input) {
+  const idx_t count = input.size();
+  if (count == 0) {
+    return Status::OK();
+  }
+  // Hash the group columns.
+  ChunkHash(input, row_layout_.group_columns, hashes_.data());
+
+  // Assemble the layout-shaped chunk: group columns and sticky payloads are
+  // referenced shallowly; the hash column is filled from hashes_.
+  for (idx_t g = 0; g < row_layout_.group_count; g++) {
+    CopyVectorShallow(input.column(row_layout_.group_columns[g]),
+                      append_chunk_.column(g), count);
+  }
+  auto *hash_values =
+      append_chunk_.column(row_layout_.hash_column).Values<int64_t>();
+  for (idx_t i = 0; i < count; i++) {
+    hash_values[i] = static_cast<int64_t>(hashes_[i]);
+  }
+  append_chunk_.column(row_layout_.hash_column).validity().Reset();
+  for (const auto &agg : row_layout_.aggregates) {
+    if (agg.sticky) {
+      CopyVectorShallow(input.column(agg.request.input_column),
+                        append_chunk_.column(agg.layout_column), count);
+    }
+  }
+  append_chunk_.SetCount(count);
+
+  // Process in sub-batches so a single chunk can never overflow a small
+  // fixed-size (phase-1) table: each sub-batch creates at most
+  // ResetBudget() new groups; once the budget is gone the table is reset
+  // mid-chunk (updates for the previous sub-batch have already been
+  // applied, so releasing the pins is safe).
+  const idx_t aggr_offset = row_layout_.layout.AggregateOffset();
+  idx_t done = 0;
+  while (done < count) {
+    idx_t batch = count - done;
+    if (!config_.resizable) {
+      idx_t budget = ResetBudget();
+      if (budget == 0) {
+        ClearPointerTable();
+        budget = ResetBudget();
+        SSAGG_ASSERT(budget > 0);
+      }
+      batch = std::min(batch, budget);
+    }
+    SSAGG_RETURN_NOT_OK(
+        FindOrCreateGroups(append_chunk_, hashes_.data(), done, batch));
+
+    // Fold the inputs of rows [done, done + batch) into the group states.
+    for (const auto &agg : row_layout_.aggregates) {
+      if (agg.sticky) {
+        continue;  // materialized at group creation
+      }
+      idx_t offset = aggr_offset + agg.state_offset;
+      for (idx_t i = 0; i < batch; i++) {
+        sel_scratch_[i] = done + i;
+        state_ptrs_[i] = row_ptrs_[done + i] + offset;
+      }
+      const Vector *arg = agg.request.input_column == kInvalidIndex
+                              ? nullptr
+                              : &input.column(agg.request.input_column);
+      const idx_t *sel =
+          (done == 0 && batch == count) ? nullptr : sel_scratch_.data();
+      agg.function.update(arg, sel, state_ptrs_.data(), batch);
+    }
+    done += batch;
+  }
+  return Status::OK();
+}
+
+Status GroupedAggregateHashTable::CombineSourceChunk(
+    const DataChunk &layout_chunk, data_ptr_t *src_rows) {
+  const idx_t count = layout_chunk.size();
+  if (count == 0) {
+    return Status::OK();
+  }
+  // Hashes were materialized with the rows: no rehashing in phase 2.
+  const auto *hash_values =
+      layout_chunk.column(row_layout_.hash_column).Values<int64_t>();
+  for (idx_t i = 0; i < count; i++) {
+    hashes_[i] = static_cast<hash_t>(hash_values[i]);
+  }
+  SSAGG_RETURN_NOT_OK(FindOrCreateGroups(layout_chunk, hashes_.data(), 0,
+                                         count));
+  const idx_t aggr_offset = row_layout_.layout.AggregateOffset();
+  for (const auto &agg : row_layout_.aggregates) {
+    if (agg.sticky) {
+      continue;  // first-wins: the appended copy already has the value
+    }
+    idx_t offset = aggr_offset + agg.state_offset;
+    for (idx_t i = 0; i < count; i++) {
+      agg.function.combine(src_rows[i] + offset, row_ptrs_[i] + offset);
+    }
+  }
+  return Status::OK();
+}
+
+void GroupedAggregateHashTable::ClearPointerTable() {
+  std::memset(entries_alloc_.data(), 0, capacity_ * 8);
+  count_ = 0;
+  stats_.resets++;
+  // The tuples stay in place; only their pins are released so the buffer
+  // manager may evict the pages.
+  data_->ReleaseAppendPins();
+}
+
+Status GroupedAggregateHashTable::Resize() {
+  SSAGG_ASSERT(config_.resizable);
+  // In a resizable table the pointer table is never reset, so every
+  // materialized row is reachable and carries its hash: rebuild by visiting
+  // all rows.
+  idx_t new_capacity = capacity_ * 2;
+  if (new_capacity > (idx_t(1) << kMaxHashTableBits)) {
+    return Status::OutOfMemory(
+        "hash table cannot grow beyond 2^24 entries; increase radix bits");
+  }
+  SSAGG_ASSIGN_OR_RETURN(auto new_alloc,
+                         buffer_manager_.AllocateNonPaged(new_capacity * 8));
+  std::memset(new_alloc.data(), 0, new_capacity * 8);
+  entries_alloc_ = std::move(new_alloc);
+  capacity_ = new_capacity;
+  mask_ = new_capacity - 1;
+  stats_.resizes++;
+
+  uint64_t *table = entries();
+  const idx_t hash_offset = row_layout_.hash_offset;
+  const idx_t mask = mask_;
+  for (idx_t p = 0; p < data_->PartitionCount(); p++) {
+    SSAGG_RETURN_NOT_OK(data_->ForEachRowInPartition(p, [&](data_ptr_t row) {
+      hash_t h;
+      std::memcpy(&h, row + hash_offset, sizeof(hash_t));
+      idx_t idx = h & mask;
+      while (table[idx] != 0) {
+        idx = (idx + 1) & mask;
+      }
+      table[idx] = MakeEntry(row, ExtractSalt(h));
+    }));
+  }
+  return Status::OK();
+}
+
+void GroupedAggregateHashTable::FinalizeChunk(const DataChunk &layout_chunk,
+                                              data_ptr_t *row_ptrs,
+                                              DataChunk &out) {
+  const idx_t count = layout_chunk.size();
+  for (idx_t g = 0; g < row_layout_.group_count; g++) {
+    CopyVectorShallow(layout_chunk.column(g), out.column(g), count);
+  }
+  idx_t out_col = row_layout_.group_count;
+  const idx_t aggr_offset = row_layout_.layout.AggregateOffset();
+  for (const auto &agg : row_layout_.aggregates) {
+    Vector &result = out.column(out_col++);
+    if (agg.sticky) {
+      CopyVectorShallow(layout_chunk.column(agg.layout_column), result, count);
+      continue;
+    }
+    idx_t offset = aggr_offset + agg.state_offset;
+    for (idx_t i = 0; i < count; i++) {
+      agg.function.finalize(row_ptrs[i] + offset, result, i);
+    }
+  }
+  out.SetCount(count);
+}
+
+}  // namespace ssagg

@@ -1,0 +1,172 @@
+#ifndef SSAGG_CORE_GROUPED_AGGREGATE_HASH_TABLE_H_
+#define SSAGG_CORE_GROUPED_AGGREGATE_HASH_TABLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "buffer/buffer_manager.h"
+#include "common/hash.h"
+#include "core/aggregate_row_layout.h"
+#include "layout/partitioned_tuple_data.h"
+
+namespace ssagg {
+
+/// DuckDB-style grouped aggregation hash table (paper Section V):
+///
+///   - an array of 64-bit entries: 48-bit pointer to the group's row,
+///     16-bit salt (the top 16 bits of the group's hash) in the upper bits;
+///   - linear probing; the salt is compared before following the pointer,
+///     so almost all collisions are resolved without touching the rows;
+///   - the rows (group keys + hash + sticky payload + aggregate states)
+///     are materialized directly into a radix-partitioned, buffer-managed,
+///     spillable page layout: the conversion from column-major input to
+///     row-major storage happens while partitioning, and tuples are never
+///     copied again;
+///   - the group's hash is stored as a hidden layout column, so phase 2
+///     never rehashes and resize can rebuild the pointer table from rows.
+///
+/// The table is single-writer (each execution thread owns one).
+class GroupedAggregateHashTable {
+ public:
+  struct Config {
+    /// Entry-array capacity; power of two, at most 2^24 (the offset bits
+    /// must not overlap the radix bits). Phase 1 uses a small fixed size.
+    idx_t capacity = kPhase1HashTableCapacity;
+    idx_t radix_bits = 4;
+    /// Phase 2 tables resize instead of resetting.
+    bool resizable = false;
+    /// Ablation knob: disable the salt comparison (always follow pointers).
+    bool use_salt = true;
+    /// Fill ratio at which phase-1 tables report NeedsReset (and resizable
+    /// tables grow). The paper determined 2/3 experimentally.
+    double reset_fill_ratio = kHashTableResetFillRatio;
+  };
+
+  struct Stats {
+    uint64_t probe_steps = 0;     // entry slots inspected
+    uint64_t key_compares = 0;    // full group-key comparisons
+    uint64_t key_compare_misses = 0;  // comparisons that did not match
+    uint64_t inserts = 0;
+    uint64_t resets = 0;
+    uint64_t resizes = 0;
+  };
+
+  /// Creates a hash table. `input_types` are the operator's input chunk
+  /// column types; `group_columns` index the grouping columns within it;
+  /// each aggregate's input_column also indexes into it.
+  static Result<std::unique_ptr<GroupedAggregateHashTable>> Create(
+      BufferManager &buffer_manager,
+      const std::vector<LogicalTypeId> &input_types,
+      const std::vector<idx_t> &group_columns,
+      const std::vector<AggregateRequest> &aggregates, Config config);
+
+  /// Creates a hash table from a prebuilt row layout (used by the operator,
+  /// which shares one layout across all thread-local and phase-2 tables).
+  static Result<std::unique_ptr<GroupedAggregateHashTable>> Create(
+      BufferManager &buffer_manager, const AggregateRowLayout &row_layout,
+      Config config);
+
+  /// Aggregates one input chunk: finds or creates each row's group and
+  /// folds the aggregate inputs into the group states.
+  Status AddChunk(const DataChunk &input);
+
+  /// Phase 2: merges rows of another hash table's materialized data (same
+  /// layout) into this table. `layout_chunk` is a gathered chunk of layout
+  /// columns and `src_rows` the corresponding source row addresses.
+  Status CombineSourceChunk(const DataChunk &layout_chunk,
+                            data_ptr_t *src_rows);
+
+  /// Phase-1 check: the table must be reset once two-thirds full.
+  bool NeedsReset() const {
+    return count_ >= capacity_ * config_.reset_fill_ratio;
+  }
+
+  /// Resets the pointer table: the 64-bit entry array is cleared while the
+  /// materialized tuples stay in place, and the pages that store them are
+  /// unpinned — they are no longer active in the hash table and may now be
+  /// spilled by the buffer manager (Section V, "RAM-Oblivious").
+  void ClearPointerTable();
+
+  /// Groups currently reachable through the pointer table.
+  idx_t Count() const { return count_; }
+  idx_t Capacity() const { return capacity_; }
+
+  /// All materialized rows (across resets).
+  PartitionedTupleData &data() { return *data_; }
+
+  const TupleDataLayout &layout() const { return row_layout_.layout; }
+  const AggregateRowLayout &row_layout() const { return row_layout_; }
+  idx_t GroupColumnCount() const { return row_layout_.group_count; }
+  const std::vector<AggregateObject> &aggregates() const {
+    return row_layout_.aggregates;
+  }
+
+  /// Column types of finalized output chunks: group columns, then one
+  /// result column per aggregate (in request order).
+  std::vector<LogicalTypeId> OutputTypes() const;
+
+  /// Converts gathered layout rows into an output chunk: group values are
+  /// copied through, aggregate states finalized. `out` must have
+  /// OutputTypes() columns; its string values reference `layout_chunk` and
+  /// must be consumed before the next scan.
+  void FinalizeChunk(const DataChunk &layout_chunk, data_ptr_t *row_ptrs,
+                     DataChunk &out);
+
+  const Stats &stats() const { return stats_; }
+
+ private:
+  GroupedAggregateHashTable(BufferManager &buffer_manager, Config config);
+
+  Status Initialize(AggregateRowLayout row_layout);
+
+  /// Probes rows [start, start + count) of `layout_chunk` (which must have
+  /// exactly the layout's columns, with the hash column filled from
+  /// `hashes`); inserts rows whose group is missing. Writes each row's
+  /// group-row address into `row_ptrs_`.
+  Status FindOrCreateGroups(const DataChunk &layout_chunk,
+                            const hash_t *hashes, idx_t start, idx_t count);
+
+  /// New groups a phase-1 (non-resizable) table can still take before
+  /// reaching the reset threshold.
+  idx_t ResetBudget() const {
+    auto threshold = static_cast<idx_t>(capacity_ * config_.reset_fill_ratio);
+    return threshold > count_ ? threshold - count_ : 0;
+  }
+
+  /// Full group-key comparison of input row `r` against a candidate row.
+  bool RowMatches(const DataChunk &layout_chunk, idx_t r,
+                  const_data_ptr_t row) const;
+
+  /// Doubles the entry array and rebuilds it from the materialized rows
+  /// (resizable tables only).
+  Status Resize();
+
+  uint64_t *entries() {
+    return reinterpret_cast<uint64_t *>(entries_alloc_.data());
+  }
+
+  BufferManager &buffer_manager_;
+  Config config_;
+
+  AggregateRowLayout row_layout_;
+
+  NonPagedAllocation entries_alloc_;
+  idx_t capacity_ = 0;
+  idx_t mask_ = 0;
+  idx_t count_ = 0;
+
+  std::unique_ptr<PartitionedTupleData> data_;
+
+  // Per-chunk scratch.
+  DataChunk append_chunk_;
+  std::vector<hash_t> hashes_;
+  std::vector<data_ptr_t> row_ptrs_;
+  std::vector<data_ptr_t> state_ptrs_;
+  std::vector<idx_t> sel_scratch_;
+
+  Stats stats_;
+};
+
+}  // namespace ssagg
+
+#endif  // SSAGG_CORE_GROUPED_AGGREGATE_HASH_TABLE_H_

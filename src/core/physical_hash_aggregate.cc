@@ -1,0 +1,198 @@
+#include "core/physical_hash_aggregate.h"
+
+namespace ssagg {
+
+Result<std::unique_ptr<PhysicalHashAggregate>> PhysicalHashAggregate::Create(
+    BufferManager &buffer_manager, std::vector<LogicalTypeId> input_types,
+    std::vector<idx_t> group_columns, std::vector<AggregateRequest> aggregates,
+    HashAggregateConfig config) {
+  SSAGG_ASSIGN_OR_RETURN(
+      auto row_layout,
+      AggregateRowLayout::Build(input_types, group_columns, aggregates));
+  return std::unique_ptr<PhysicalHashAggregate>(new PhysicalHashAggregate(
+      buffer_manager, std::move(input_types), std::move(row_layout), config));
+}
+
+Result<std::unique_ptr<LocalSinkState>> PhysicalHashAggregate::InitLocal() {
+  auto state = std::make_unique<LocalState>();
+  GroupedAggregateHashTable::Config ht_config;
+  ht_config.capacity = config_.phase1_capacity;
+  ht_config.radix_bits = config_.radix_bits;
+  ht_config.resizable = false;
+  ht_config.use_salt = config_.use_salt;
+  ht_config.reset_fill_ratio = config_.reset_fill_ratio;
+  SSAGG_ASSIGN_OR_RETURN(
+      state->ht,
+      GroupedAggregateHashTable::Create(buffer_manager_, row_layout_,
+                                        ht_config));
+  return std::unique_ptr<LocalSinkState>(std::move(state));
+}
+
+Status PhysicalHashAggregate::Sink(DataChunk &chunk, LocalSinkState &state) {
+  auto &local = static_cast<LocalState &>(state);
+  SSAGG_RETURN_NOT_OK(local.ht->AddChunk(chunk));
+  if (local.ht->NeedsReset()) {
+    // Reset once two-thirds full: only the entry array is cleared, the
+    // tuples stay in place and their pages become evictable.
+    local.ht->ClearPointerTable();
+  }
+  if (config_.enable_early_aggregation) {
+    idx_t used = buffer_manager_.memory_used();
+    idx_t local_rows = local.ht->data().Count();
+    if (used > config_.early_aggregation_ratio *
+                   buffer_manager_.memory_limit() &&
+        local_rows >= config_.early_aggregation_min_rows &&
+        local_rows >= 2 * local.last_compact_count) {
+      SSAGG_RETURN_NOT_OK(EarlyCompactLocal(local));
+      local.last_compact_count = local.ht->data().Count();
+    }
+  }
+  return Status::OK();
+}
+
+Status PhysicalHashAggregate::EarlyCompactLocal(LocalState &local) {
+  // The pointer table may reference rows that are about to move; clear it
+  // (this also releases the append pins).
+  local.ht->ClearPointerTable();
+  auto &data = local.ht->data();
+  idx_t before = data.Count();
+  for (idx_t p = 0; p < data.PartitionCount(); p++) {
+    TupleDataCollection &part = data.partition(p);
+    if (part.Count() < kVectorSize) {
+      continue;  // nothing worth compacting
+    }
+    GroupedAggregateHashTable::Config ht_config;
+    ht_config.capacity = config_.phase2_initial_capacity;
+    ht_config.radix_bits = 0;
+    ht_config.resizable = true;
+    ht_config.use_salt = config_.use_salt;
+    SSAGG_ASSIGN_OR_RETURN(
+        auto compactor, GroupedAggregateHashTable::Create(
+                            buffer_manager_, row_layout_, ht_config));
+    DataChunk layout_chunk(row_layout_.layout.Types());
+    std::vector<data_ptr_t> src_rows(kVectorSize);
+    TupleDataScanState scan;
+    part.InitScan(scan, /*destroy_after_scan=*/true);
+    while (true) {
+      SSAGG_ASSIGN_OR_RETURN(bool more,
+                             part.Scan(scan, layout_chunk, src_rows.data()));
+      if (!more) {
+        break;
+      }
+      SSAGG_RETURN_NOT_OK(
+          compactor->CombineSourceChunk(layout_chunk, src_rows.data()));
+    }
+    compactor->ClearPointerTable();
+    // Replace the partition's contents with the compacted rows.
+    part.Reset();
+    part.Combine(compactor->data().partition(0));
+  }
+  idx_t after = data.Count();
+  local.early_compactions++;
+  local.early_compacted_rows += before - after;
+  return Status::OK();
+}
+
+Status PhysicalHashAggregate::Combine(LocalSinkState &state) {
+  auto &local = static_cast<LocalState &>(state);
+  local.ht->ClearPointerTable();  // releases the append pins
+  std::lock_guard<std::mutex> guard(lock_);
+  if (!global_data_) {
+    global_data_ = std::make_unique<PartitionedTupleData>(
+        buffer_manager_, row_layout_.layout, config_.radix_bits);
+  }
+  stats_.materialized_rows += local.ht->data().Count();
+  const auto &s = local.ht->stats();
+  stats_.ht.probe_steps += s.probe_steps;
+  stats_.ht.key_compares += s.key_compares;
+  stats_.ht.key_compare_misses += s.key_compare_misses;
+  stats_.ht.inserts += s.inserts;
+  stats_.ht.resets += s.resets;
+  stats_.phase1_resets += s.resets;
+  stats_.early_compactions += local.early_compactions;
+  stats_.early_compacted_rows += local.early_compacted_rows;
+  global_data_->Combine(local.ht->data());
+  local.ht.reset();
+  return Status::OK();
+}
+
+Status PhysicalHashAggregate::AggregatePartition(idx_t partition_idx,
+                                                 DataSink &output,
+                                                 TaskExecutor &executor) {
+  TupleDataCollection &source = global_data_->partition(partition_idx);
+  if (source.Count() == 0) {
+    return Status::OK();
+  }
+  GroupedAggregateHashTable::Config ht_config;
+  ht_config.capacity = config_.phase2_initial_capacity;
+  ht_config.radix_bits = 0;  // a phase-2 table is not repartitioned
+  ht_config.resizable = true;
+  ht_config.use_salt = config_.use_salt;
+  ht_config.reset_fill_ratio = config_.reset_fill_ratio;
+  SSAGG_ASSIGN_OR_RETURN(
+      auto ht, GroupedAggregateHashTable::Create(buffer_manager_, row_layout_,
+                                                 ht_config));
+
+  // Merge the partition's pre-aggregated rows; pages are destroyed as the
+  // scan moves past them.
+  DataChunk layout_chunk(row_layout_.layout.Types());
+  std::vector<data_ptr_t> src_rows(kVectorSize);
+  TupleDataScanState scan;
+  source.InitScan(scan, /*destroy_after_scan=*/true);
+  while (true) {
+    SSAGG_ASSIGN_OR_RETURN(bool more,
+                           source.Scan(scan, layout_chunk, src_rows.data()));
+    if (!more) {
+      break;
+    }
+    SSAGG_RETURN_NOT_OK(executor.CheckDeadline());
+    SSAGG_RETURN_NOT_OK(ht->CombineSourceChunk(layout_chunk, src_rows.data()));
+  }
+
+  // The pointer table is no longer needed; release the build pins so result
+  // pages can be freed as soon as the output scan passes them.
+  ht->ClearPointerTable();
+
+  // Push the fully aggregated partition to the next operator immediately,
+  // freeing its pages as they are consumed.
+  SSAGG_ASSIGN_OR_RETURN(auto out_local, output.InitLocal());
+  DataChunk out(OutputTypes());
+  TupleDataCollection &result = ht->data().partition(0);
+  TupleDataScanState result_scan;
+  result.InitScan(result_scan, /*destroy_after_scan=*/true);
+  idx_t groups = 0;
+  while (true) {
+    SSAGG_ASSIGN_OR_RETURN(
+        bool more, result.Scan(result_scan, layout_chunk, src_rows.data()));
+    if (!more) {
+      break;
+    }
+    ht->FinalizeChunk(layout_chunk, src_rows.data(), out);
+    groups += out.size();
+    SSAGG_RETURN_NOT_OK(output.Sink(out, *out_local));
+  }
+  SSAGG_RETURN_NOT_OK(output.Combine(*out_local));
+  {
+    std::lock_guard<std::mutex> guard(lock_);
+    stats_.unique_groups += groups;
+    const auto &s = ht->stats();
+    stats_.ht.resizes += s.resizes;
+  }
+  return Status::OK();
+}
+
+Status PhysicalHashAggregate::EmitResults(DataSink &output,
+                                          TaskExecutor &executor) {
+  if (!global_data_) {
+    return Status::OK();  // no input at all
+  }
+  std::vector<std::function<Status()>> tasks;
+  for (idx_t p = 0; p < global_data_->PartitionCount(); p++) {
+    tasks.push_back([this, p, &output, &executor]() {
+      return AggregatePartition(p, output, executor);
+    });
+  }
+  return executor.RunTasks(tasks);
+}
+
+}  // namespace ssagg

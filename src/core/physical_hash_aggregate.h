@@ -1,0 +1,133 @@
+#ifndef SSAGG_CORE_PHYSICAL_HASH_AGGREGATE_H_
+#define SSAGG_CORE_PHYSICAL_HASH_AGGREGATE_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "buffer/buffer_manager.h"
+#include "core/grouped_aggregate_hash_table.h"
+#include "execution/operator.h"
+#include "execution/task_executor.h"
+
+namespace ssagg {
+
+/// Tuning knobs for the aggregation operator.
+struct HashAggregateConfig {
+  /// Capacity of the fixed-size thread-local (phase 1) hash table.
+  idx_t phase1_capacity = kPhase1HashTableCapacity;
+  /// Radix partition fan-out (2^radix_bits partitions). The paper
+  /// over-partitions so one fully aggregated partition per thread fits in
+  /// memory during phase 2.
+  idx_t radix_bits = 4;
+  /// Initial capacity of phase-2 (resizable) tables.
+  idx_t phase2_initial_capacity = 1024;
+  bool use_salt = true;
+  double reset_fill_ratio = kHashTableResetFillRatio;
+  /// Optional extension (paper Section IX, future work): when the memory
+  /// limit is about to be exceeded during phase 1, a thread re-aggregates
+  /// its own partitions early, collapsing duplicated groups before they are
+  /// spilled — trading CPU for reduced intermediate size and I/O.
+  bool enable_early_aggregation = false;
+  /// Pool fill ratio that triggers early aggregation.
+  double early_aggregation_ratio = 0.8;
+  /// Minimum thread-local materialized rows before compacting (and the
+  /// data must double between compactions), so compaction cannot thrash.
+  idx_t early_aggregation_min_rows = 1ULL << 16;
+};
+
+/// Aggregate progress counters, summed over threads.
+struct HashAggregateStats {
+  idx_t materialized_rows = 0;   // rows handed to phase 2 (post-compaction)
+  idx_t unique_groups = 0;       // rows produced
+  idx_t phase1_resets = 0;
+  idx_t early_compactions = 0;   // early-aggregation passes (Section IX)
+  idx_t early_compacted_rows = 0;  // rows eliminated by early aggregation
+  GroupedAggregateHashTable::Stats ht;
+  /// Wall-clock seconds of the two phases (filled by Execute helpers).
+  double phase1_seconds = 0;
+  double phase2_seconds = 0;
+};
+
+/// DuckDB's embarrassingly external parallel hash aggregation (paper
+/// Section V, Figure 3):
+///
+///   Phase 1 (Thread-Local Pre-Aggregation): each worker aggregates morsels
+///   into its own small fixed-size salted hash table, materializing groups
+///   directly into radix-partitioned spillable pages; the table is reset
+///   (pointer array cleared, pages unpinned) at 2/3 fill. The phase is
+///   RAM-oblivious: nothing about it depends on the memory limit, and the
+///   buffer manager alone decides which pages spill.
+///
+///   Phase 2 (Partition-Wise Aggregation): thread-local partitions are
+///   exchanged and each partition is aggregated independently in parallel
+///   with a resizable table; finished partitions are immediately pushed to
+///   the next sink and their pages destroyed.
+class PhysicalHashAggregate : public DataSink {
+ public:
+  static Result<std::unique_ptr<PhysicalHashAggregate>> Create(
+      BufferManager &buffer_manager, std::vector<LogicalTypeId> input_types,
+      std::vector<idx_t> group_columns,
+      std::vector<AggregateRequest> aggregates,
+      HashAggregateConfig config = {});
+
+  std::vector<LogicalTypeId> OutputTypes() const {
+    return row_layout_.OutputTypes();
+  }
+
+  // DataSink (phase 1)
+  Result<std::unique_ptr<LocalSinkState>> InitLocal() override;
+  Status Sink(DataChunk &chunk, LocalSinkState &state) override;
+  Status Combine(LocalSinkState &state) override;
+
+  /// Phase 2: aggregates each partition and pushes finished partitions into
+  /// `output` ("fully aggregated partitions are immediately scanned,
+  /// effectively becoming morsels in the next pipeline"). Partition pages
+  /// are destroyed as they are consumed.
+  Status EmitResults(DataSink &output, TaskExecutor &executor);
+
+  const HashAggregateStats &stats() const { return stats_; }
+  /// Total bytes materialized into partitions (intermediate size).
+  idx_t MaterializedBytes() const {
+    return global_data_ ? global_data_->SizeInBytes() : 0;
+  }
+
+ private:
+  PhysicalHashAggregate(BufferManager &buffer_manager,
+                        std::vector<LogicalTypeId> input_types,
+                        AggregateRowLayout row_layout,
+                        HashAggregateConfig config)
+      : buffer_manager_(buffer_manager),
+        input_types_(std::move(input_types)),
+        row_layout_(std::move(row_layout)),
+        config_(config) {}
+
+  struct LocalState : public LocalSinkState {
+    std::unique_ptr<GroupedAggregateHashTable> ht;
+    idx_t last_compact_count = 0;
+    idx_t early_compactions = 0;
+    idx_t early_compacted_rows = 0;
+  };
+
+  /// Re-aggregates the thread's own partitions in place, collapsing
+  /// duplicated groups materialized across hash-table resets.
+  Status EarlyCompactLocal(LocalState &local);
+
+  Status AggregatePartition(idx_t partition_idx, DataSink &output,
+                            TaskExecutor &executor);
+
+  BufferManager &buffer_manager_;
+  std::vector<LogicalTypeId> input_types_;
+  AggregateRowLayout row_layout_;
+  HashAggregateConfig config_;
+
+  std::mutex lock_;
+  /// All thread-local materialized partitions, merged partition-wise at
+  /// Combine time ("partitions are exchanged between threads").
+  std::unique_ptr<PartitionedTupleData> global_data_;
+  HashAggregateStats stats_;
+};
+
+}  // namespace ssagg
+
+#endif  // SSAGG_CORE_PHYSICAL_HASH_AGGREGATE_H_

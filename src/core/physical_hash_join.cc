@@ -1,0 +1,370 @@
+#include "core/physical_hash_join.h"
+
+#include <cstring>
+
+#include "layout/radix_partitioning.h"
+
+namespace ssagg {
+
+namespace {
+
+/// ANY_VALUE requests for every non-key column: reuses the aggregation's
+/// row-layout builder to get [keys..., hash, payload...] rows whose string
+/// data lives on spillable heap pages.
+std::vector<AggregateRequest> PayloadRequests(
+    const std::vector<LogicalTypeId> &types, const std::vector<idx_t> &keys) {
+  std::vector<AggregateRequest> requests;
+  for (idx_t c = 0; c < types.size(); c++) {
+    bool is_key = false;
+    for (idx_t k : keys) {
+      if (k == c) {
+        is_key = true;
+        break;
+      }
+    }
+    if (!is_key) {
+      requests.push_back({AggregateKind::kAnyValue, c});
+    }
+  }
+  return requests;
+}
+
+/// Maps each INPUT column to its layout column (keys first, then sticky
+/// payloads in input order).
+std::vector<idx_t> InputToLayout(const AggregateRowLayout &layout,
+                                 idx_t input_columns) {
+  std::vector<idx_t> map(input_columns, kInvalidIndex);
+  for (idx_t k = 0; k < layout.group_columns.size(); k++) {
+    map[layout.group_columns[k]] = k;
+  }
+  for (const auto &agg : layout.aggregates) {
+    map[agg.request.input_column] = agg.layout_column;
+  }
+  return map;
+}
+
+idx_t NextPowerOfTwo(idx_t n) {
+  idx_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+//===----------------------------------------------------------------------===//
+// SideSink: materializes one input into radix-partitioned spillable pages
+//===----------------------------------------------------------------------===//
+
+class PhysicalHashJoin::SideSink : public DataSink {
+ public:
+  SideSink(BufferManager &buffer_manager, const AggregateRowLayout &layout,
+           idx_t radix_bits, PartitionedTupleData &global)
+      : buffer_manager_(buffer_manager),
+        layout_(layout),
+        radix_bits_(radix_bits),
+        global_(global) {}
+
+  Result<std::unique_ptr<LocalSinkState>> InitLocal() override {
+    auto state = std::make_unique<LocalState>();
+    state->data = std::make_unique<PartitionedTupleData>(
+        buffer_manager_, layout_.layout, radix_bits_);
+    state->append_chunk.Initialize(layout_.layout.Types());
+    state->hashes.resize(kVectorSize);
+    return std::unique_ptr<LocalSinkState>(std::move(state));
+  }
+
+  Status Sink(DataChunk &chunk, LocalSinkState &state) override {
+    auto &local = static_cast<LocalState &>(state);
+    const idx_t count = chunk.size();
+    ChunkHash(chunk, layout_.group_columns, local.hashes.data());
+    for (idx_t k = 0; k < layout_.group_count; k++) {
+      CopyVectorShallow(chunk.column(layout_.group_columns[k]),
+                        local.append_chunk.column(k), count);
+    }
+    auto *hash_values =
+        local.append_chunk.column(layout_.hash_column).Values<int64_t>();
+    for (idx_t i = 0; i < count; i++) {
+      hash_values[i] = static_cast<int64_t>(local.hashes[i]);
+    }
+    local.append_chunk.column(layout_.hash_column).validity().Reset();
+    for (const auto &payload : layout_.aggregates) {
+      CopyVectorShallow(chunk.column(payload.request.input_column),
+                        local.append_chunk.column(payload.layout_column),
+                        count);
+    }
+    local.append_chunk.SetCount(count);
+    SSAGG_RETURN_NOT_OK(local.data->Append(local.append_chunk,
+                                           local.hashes.data(), nullptr,
+                                           count, nullptr));
+    // Unpin after every chunk: nothing references the rows until the join
+    // phase, so the pages may spill freely (RAM-oblivious materialization).
+    local.data->ReleaseAppendPins();
+    return Status::OK();
+  }
+
+  Status Combine(LocalSinkState &state) override {
+    auto &local = static_cast<LocalState &>(state);
+    std::lock_guard<std::mutex> guard(lock_);
+    global_.Combine(*local.data);
+    return Status::OK();
+  }
+
+ private:
+  struct LocalState : public LocalSinkState {
+    std::unique_ptr<PartitionedTupleData> data;
+    DataChunk append_chunk;
+    std::vector<hash_t> hashes;
+  };
+
+  BufferManager &buffer_manager_;
+  const AggregateRowLayout &layout_;
+  idx_t radix_bits_;
+  PartitionedTupleData &global_;
+  std::mutex lock_;
+};
+
+//===----------------------------------------------------------------------===//
+// PhysicalHashJoin
+//===----------------------------------------------------------------------===//
+
+PhysicalHashJoin::PhysicalHashJoin(BufferManager &buffer_manager,
+                                   HashJoinConfig config)
+    : buffer_manager_(buffer_manager), config_(config) {}
+
+PhysicalHashJoin::~PhysicalHashJoin() = default;
+
+DataSink &PhysicalHashJoin::build_sink() { return *build_sink_; }
+DataSink &PhysicalHashJoin::probe_sink() { return *probe_sink_; }
+
+Result<std::unique_ptr<PhysicalHashJoin>> PhysicalHashJoin::Create(
+    BufferManager &buffer_manager, std::vector<LogicalTypeId> build_types,
+    std::vector<idx_t> build_keys, std::vector<LogicalTypeId> probe_types,
+    std::vector<idx_t> probe_keys, HashJoinConfig config) {
+  if (build_keys.size() != probe_keys.size() || build_keys.empty()) {
+    return Status::InvalidArgument("join needs matching key column lists");
+  }
+  for (idx_t k = 0; k < build_keys.size(); k++) {
+    if (build_types[build_keys[k]] != probe_types[probe_keys[k]]) {
+      return Status::InvalidArgument("join key types do not match");
+    }
+  }
+  std::unique_ptr<PhysicalHashJoin> join(
+      new PhysicalHashJoin(buffer_manager, config));
+  join->build_types_ = build_types;
+  join->probe_types_ = probe_types;
+  join->build_keys_ = build_keys;
+  join->probe_keys_ = probe_keys;
+  SSAGG_ASSIGN_OR_RETURN(
+      join->build_layout_,
+      AggregateRowLayout::Build(build_types, build_keys,
+                                PayloadRequests(build_types, build_keys)));
+  SSAGG_ASSIGN_OR_RETURN(
+      join->probe_layout_,
+      AggregateRowLayout::Build(probe_types, probe_keys,
+                                PayloadRequests(probe_types, probe_keys)));
+  join->build_data_ = std::make_unique<PartitionedTupleData>(
+      buffer_manager, join->build_layout_.layout, config.radix_bits);
+  join->probe_data_ = std::make_unique<PartitionedTupleData>(
+      buffer_manager, join->probe_layout_.layout, config.radix_bits);
+  join->build_sink_ = std::make_unique<SideSink>(
+      buffer_manager, join->build_layout_, config.radix_bits,
+      *join->build_data_);
+  join->probe_sink_ = std::make_unique<SideSink>(
+      buffer_manager, join->probe_layout_, config.radix_bits,
+      *join->probe_data_);
+  return join;
+}
+
+std::vector<LogicalTypeId> PhysicalHashJoin::OutputTypes() const {
+  std::vector<LogicalTypeId> types = probe_types_;
+  types.insert(types.end(), build_types_.begin(), build_types_.end());
+  return types;
+}
+
+Status PhysicalHashJoin::JoinPartition(idx_t partition_idx, DataSink &output,
+                                       TaskExecutor &executor) {
+  TupleDataCollection &build = build_data_->partition(partition_idx);
+  TupleDataCollection &probe = probe_data_->partition(partition_idx);
+  if (probe.Count() == 0 || build.Count() == 0) {
+    // No matches possible; release both sides eagerly.
+    build_data_->ReleasePartitionPins(partition_idx);
+    build.Reset();
+    probe_data_->ReleasePartitionPins(partition_idx);
+    probe.Reset();
+    return Status::OK();
+  }
+  // Pointer table over the build partition. Duplicate keys produce multiple
+  // entries; probes scan the probe chain until the first empty slot.
+  idx_t capacity = NextPowerOfTwo(std::max<idx_t>(
+      config_.build_initial_capacity, build.Count() * 2));
+  if (capacity > (idx_t(1) << kMaxHashTableBits)) {
+    return Status::OutOfMemory(
+        "build partition too large for the pointer table; increase the "
+        "join's radix bits");
+  }
+  SSAGG_ASSIGN_OR_RETURN(auto entries_alloc,
+                         buffer_manager_.AllocateNonPaged(capacity * 8));
+  std::memset(entries_alloc.data(), 0, capacity * 8);
+  auto *table = reinterpret_cast<uint64_t *>(entries_alloc.data());
+  const idx_t mask = capacity - 1;
+  const idx_t build_hash_offset = build_layout_.hash_offset;
+  // Pin the whole build partition with string-pointer recomputation: probes
+  // compare (possibly string) keys against these rows.
+  TupleDataPinnedState build_pins;
+  SSAGG_RETURN_NOT_OK(build.PinAllRows(build_pins, [&](data_ptr_t row) {
+    hash_t h;
+    std::memcpy(&h, row + build_hash_offset, sizeof(hash_t));
+    idx_t idx = h & mask;
+    while (table[idx] != 0) {
+      idx = (idx + 1) & mask;
+    }
+    table[idx] = MakeEntry(row, ExtractSalt(h));
+  }));
+
+  // Column mappings for output assembly.
+  std::vector<idx_t> probe_map = InputToLayout(probe_layout_,
+                                               probe_types_.size());
+  std::vector<idx_t> build_map = InputToLayout(build_layout_,
+                                               build_types_.size());
+
+  SSAGG_ASSIGN_OR_RETURN(auto out_local, output.InitLocal());
+  DataChunk out(OutputTypes());
+  idx_t out_count = 0;
+  auto flush = [&]() -> Status {
+    if (out_count == 0) {
+      return Status::OK();
+    }
+    out.SetCount(out_count);
+    SSAGG_RETURN_NOT_OK(output.Sink(out, *out_local));
+    out.Reset();
+    out_count = 0;
+    return Status::OK();
+  };
+
+  // Emits one joined row: probe columns from the gathered chunk, build
+  // columns from the (pinned) build row.
+  auto emit = [&](const DataChunk &probe_chunk, idx_t probe_row,
+                  const_data_ptr_t build_row) -> Status {
+    for (idx_t c = 0; c < probe_types_.size(); c++) {
+      Vector &dest = out.column(c);
+      const Vector &src = probe_chunk.column(probe_map[c]);
+      if (!src.validity().RowIsValid(probe_row)) {
+        dest.validity().SetInvalid(out_count);
+        std::memset(dest.data() + out_count * dest.width(), 0, dest.width());
+      } else if (dest.type() == LogicalTypeId::kVarchar) {
+        dest.SetString(out_count, src.Values<string_t>()[probe_row].View());
+      } else {
+        std::memcpy(dest.data() + out_count * dest.width(),
+                    src.data() + probe_row * dest.width(), dest.width());
+      }
+    }
+    for (idx_t c = 0; c < build_types_.size(); c++) {
+      Vector &dest = out.column(probe_types_.size() + c);
+      idx_t lc = build_map[c];
+      idx_t offset = build_layout_.layout.ColumnOffset(lc);
+      if (!build_layout_.layout.RowIsColumnValid(build_row, lc)) {
+        dest.validity().SetInvalid(out_count);
+        std::memset(dest.data() + out_count * dest.width(), 0, dest.width());
+      } else if (dest.type() == LogicalTypeId::kVarchar) {
+        string_t s;
+        std::memcpy(&s, build_row + offset, sizeof(string_t));
+        dest.SetString(out_count, s.View());
+      } else {
+        std::memcpy(dest.data() + out_count * dest.width(),
+                    build_row + offset, dest.width());
+      }
+    }
+    out_count++;
+    return out_count == kVectorSize ? flush() : Status::OK();
+  };
+
+  // Compares probe row keys (gathered chunk, key columns 0..K-1) against a
+  // build row's key columns.
+  auto keys_match = [&](const DataChunk &probe_chunk, idx_t probe_row,
+                        const_data_ptr_t build_row) {
+    for (idx_t k = 0; k < build_layout_.group_count; k++) {
+      const Vector &vec = probe_chunk.column(k);
+      bool probe_valid = vec.validity().RowIsValid(probe_row);
+      bool build_valid = build_layout_.layout.RowIsColumnValid(build_row, k);
+      // SQL semantics: NULL keys never match.
+      if (!probe_valid || !build_valid) {
+        return false;
+      }
+      idx_t offset = build_layout_.layout.ColumnOffset(k);
+      LogicalTypeId type = build_layout_.layout.ColumnType(k);
+      if (TypeIsVarSize(type)) {
+        string_t stored;
+        std::memcpy(&stored, build_row + offset, sizeof(string_t));
+        if (stored != vec.Values<string_t>()[probe_row]) {
+          return false;
+        }
+      } else {
+        idx_t width = TypeWidth(type);
+        if (std::memcmp(build_row + offset,
+                        vec.data() + probe_row * width, width) != 0) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+
+  // Stream the probe partition, destroying its pages as we pass them.
+  DataChunk probe_chunk(probe_layout_.layout.Types());
+  TupleDataScanState scan;
+  probe.InitScan(scan, /*destroy_after_scan=*/true);
+  idx_t probed = 0;
+  while (true) {
+    SSAGG_ASSIGN_OR_RETURN(bool more, probe.Scan(scan, probe_chunk, nullptr));
+    if (!more) {
+      break;
+    }
+    if ((probed += probe_chunk.size()) % (64 * kVectorSize) <
+        probe_chunk.size()) {
+      SSAGG_RETURN_NOT_OK(executor.CheckDeadline());
+    }
+    const auto *hash_values =
+        probe_chunk.column(probe_layout_.hash_column).Values<int64_t>();
+    for (idx_t r = 0; r < probe_chunk.size(); r++) {
+      hash_t h = static_cast<hash_t>(hash_values[r]);
+      uint16_t salt = ExtractSalt(h);
+      idx_t idx = h & mask;
+      while (true) {
+        uint64_t entry = table[idx];
+        if (entry == 0) {
+          break;  // end of the probe chain: no more candidates
+        }
+        if (EntrySalt(entry) == salt) {
+          data_ptr_t row = EntryPointer(entry);
+          hash_t row_hash;
+          std::memcpy(&row_hash, row + build_hash_offset, sizeof(hash_t));
+          if (row_hash == h && keys_match(probe_chunk, r, row)) {
+            SSAGG_RETURN_NOT_OK(emit(probe_chunk, r, row));
+          }
+        }
+        idx = (idx + 1) & mask;
+      }
+    }
+  }
+  SSAGG_RETURN_NOT_OK(flush());
+  SSAGG_RETURN_NOT_OK(output.Combine(*out_local));
+  // Both partitions are consumed: free their pages.
+  build_pins.Release();
+  build.Reset();
+  return Status::OK();
+}
+
+Status PhysicalHashJoin::EmitResults(DataSink &output,
+                                     TaskExecutor &executor) {
+  std::vector<std::function<Status()>> tasks;
+  for (idx_t p = 0; p < build_data_->PartitionCount(); p++) {
+    tasks.push_back([this, p, &output, &executor]() {
+      return JoinPartition(p, output, executor);
+    });
+  }
+  return executor.RunTasks(tasks);
+}
+
+}  // namespace ssagg

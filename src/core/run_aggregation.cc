@@ -1,0 +1,27 @@
+#include "core/run_aggregation.h"
+
+#include <chrono>
+
+namespace ssagg {
+
+Result<HashAggregateStats> RunGroupedAggregation(
+    BufferManager &buffer_manager, DataSource &source,
+    const std::vector<idx_t> &group_columns,
+    const std::vector<AggregateRequest> &aggregates, DataSink &output,
+    TaskExecutor &executor, HashAggregateConfig config) {
+  SSAGG_ASSIGN_OR_RETURN(
+      auto agg, PhysicalHashAggregate::Create(buffer_manager, source.Types(),
+                                              group_columns, aggregates,
+                                              config));
+  auto t0 = std::chrono::steady_clock::now();
+  SSAGG_RETURN_NOT_OK(executor.RunPipeline(source, *agg));
+  auto t1 = std::chrono::steady_clock::now();
+  SSAGG_RETURN_NOT_OK(agg->EmitResults(output, executor));
+  auto t2 = std::chrono::steady_clock::now();
+  HashAggregateStats stats = agg->stats();
+  stats.phase1_seconds = std::chrono::duration<double>(t1 - t0).count();
+  stats.phase2_seconds = std::chrono::duration<double>(t2 - t1).count();
+  return stats;
+}
+
+}  // namespace ssagg

@@ -1,0 +1,26 @@
+#ifndef SSAGG_CORE_RUN_AGGREGATION_H_
+#define SSAGG_CORE_RUN_AGGREGATION_H_
+
+#include <memory>
+#include <vector>
+
+#include "buffer/buffer_manager.h"
+#include "core/physical_hash_aggregate.h"
+#include "execution/operator.h"
+#include "execution/task_executor.h"
+
+namespace ssagg {
+
+/// Convenience: runs `GROUP BY <group_columns> : <aggregates>` over a
+/// source, pushing results into `output`. This is the full two-pipeline
+/// query: (source -> aggregate sink), then (aggregate partitions ->
+/// output). Returns operator statistics.
+Result<HashAggregateStats> RunGroupedAggregation(
+    BufferManager &buffer_manager, DataSource &source,
+    const std::vector<idx_t> &group_columns,
+    const std::vector<AggregateRequest> &aggregates, DataSink &output,
+    TaskExecutor &executor, HashAggregateConfig config = {});
+
+}  // namespace ssagg
+
+#endif  // SSAGG_CORE_RUN_AGGREGATION_H_

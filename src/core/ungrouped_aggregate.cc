@@ -1,0 +1,187 @@
+#include "core/ungrouped_aggregate.h"
+
+#include <cstring>
+
+namespace ssagg {
+
+Result<std::unique_ptr<PhysicalUngroupedAggregate>>
+PhysicalUngroupedAggregate::Create(std::vector<LogicalTypeId> input_types,
+                                   std::vector<AggregateRequest> aggregates) {
+  std::unique_ptr<PhysicalUngroupedAggregate> op(
+      new PhysicalUngroupedAggregate(std::move(input_types)));
+  for (const auto &req : aggregates) {
+    AggregateEntry entry;
+    entry.request = req;
+    LogicalTypeId input_type = LogicalTypeId::kInt64;
+    if (req.input_column != kInvalidIndex) {
+      if (req.input_column >= op->input_types_.size()) {
+        return Status::InvalidArgument("aggregate input column out of range");
+      }
+      input_type = op->input_types_[req.input_column];
+    }
+    bool string_input = input_type == LogicalTypeId::kVarchar;
+    bool string_capable = req.kind == AggregateKind::kMin ||
+                          req.kind == AggregateKind::kMax ||
+                          req.kind == AggregateKind::kAnyValue;
+    if (string_input && string_capable) {
+      entry.is_string = true;
+      entry.string_index = op->string_state_count_++;
+      entry.result_type = LogicalTypeId::kVarchar;
+    } else if (string_input && req.kind == AggregateKind::kCount) {
+      // COUNT over strings only needs validity; reuse the numeric path with
+      // a count-only function.
+      SSAGG_ASSIGN_OR_RETURN(
+          entry.function,
+          GetAggregateFunction(AggregateKind::kCount, LogicalTypeId::kInt64));
+      entry.state_offset = op->total_state_width_;
+      op->total_state_width_ += entry.function.state_width;
+      entry.result_type = entry.function.result_type;
+      // CountUpdate only reads validity, which is type-agnostic.
+    } else {
+      SSAGG_ASSIGN_OR_RETURN(entry.function,
+                             GetAggregateFunction(req.kind, input_type));
+      entry.state_offset = op->total_state_width_;
+      op->total_state_width_ += entry.function.state_width;
+      entry.result_type = entry.function.result_type;
+    }
+    op->aggregates_.push_back(entry);
+  }
+  op->global_states_.assign(std::max<idx_t>(op->total_state_width_, 1), 0);
+  op->global_strings_.resize(op->string_state_count_);
+  return op;
+}
+
+std::vector<LogicalTypeId> PhysicalUngroupedAggregate::OutputTypes() const {
+  std::vector<LogicalTypeId> types;
+  for (const auto &entry : aggregates_) {
+    types.push_back(entry.result_type);
+  }
+  return types;
+}
+
+Result<std::unique_ptr<LocalSinkState>>
+PhysicalUngroupedAggregate::InitLocal() {
+  auto state = std::make_unique<LocalState>();
+  state->states.assign(std::max<idx_t>(total_state_width_, 1), 0);
+  state->strings.resize(string_state_count_);
+  return std::unique_ptr<LocalSinkState>(std::move(state));
+}
+
+void PhysicalUngroupedAggregate::UpdateString(const AggregateEntry &entry,
+                                              const Vector &input,
+                                              idx_t count,
+                                              StringState &state) const {
+  for (idx_t i = 0; i < count; i++) {
+    if (!input.validity().RowIsValid(i)) {
+      continue;
+    }
+    auto value = input.Values<string_t>()[i].View();
+    switch (entry.request.kind) {
+      case AggregateKind::kAnyValue:
+        if (!state.value) {
+          state.value = std::string(value);
+        }
+        return;  // first value wins; nothing more to do in this chunk
+      case AggregateKind::kMin:
+        if (!state.value || value < *state.value) {
+          state.value = std::string(value);
+        }
+        break;
+      case AggregateKind::kMax:
+        if (!state.value || value > *state.value) {
+          state.value = std::string(value);
+        }
+        break;
+      default:
+        SSAGG_DASSERT(false);
+    }
+  }
+}
+
+void PhysicalUngroupedAggregate::CombineString(const AggregateEntry &entry,
+                                               const StringState &src,
+                                               StringState &dst) const {
+  if (!src.value) {
+    return;
+  }
+  switch (entry.request.kind) {
+    case AggregateKind::kAnyValue:
+      if (!dst.value) {
+        dst.value = src.value;
+      }
+      break;
+    case AggregateKind::kMin:
+      if (!dst.value || *src.value < *dst.value) {
+        dst.value = src.value;
+      }
+      break;
+    case AggregateKind::kMax:
+      if (!dst.value || *src.value > *dst.value) {
+        dst.value = src.value;
+      }
+      break;
+    default:
+      SSAGG_DASSERT(false);
+  }
+}
+
+Status PhysicalUngroupedAggregate::Sink(DataChunk &chunk,
+                                        LocalSinkState &state) {
+  auto &local = static_cast<LocalState &>(state);
+  // All rows of the chunk update the same state.
+  std::vector<data_ptr_t> states(chunk.size());
+  for (const auto &entry : aggregates_) {
+    if (entry.is_string) {
+      UpdateString(entry, chunk.column(entry.request.input_column),
+                   chunk.size(), local.strings[entry.string_index]);
+      continue;
+    }
+    data_ptr_t ptr = local.states.data() + entry.state_offset;
+    std::fill(states.begin(), states.end(), ptr);
+    const Vector *arg = entry.request.input_column == kInvalidIndex
+                            ? nullptr
+                            : &chunk.column(entry.request.input_column);
+    entry.function.update(arg, nullptr, states.data(), chunk.size());
+  }
+  return Status::OK();
+}
+
+Status PhysicalUngroupedAggregate::Combine(LocalSinkState &state) {
+  auto &local = static_cast<LocalState &>(state);
+  std::lock_guard<std::mutex> guard(lock_);
+  has_input_ = true;
+  for (const auto &entry : aggregates_) {
+    if (entry.is_string) {
+      CombineString(entry, local.strings[entry.string_index],
+                    global_strings_[entry.string_index]);
+    } else {
+      entry.function.combine(local.states.data() + entry.state_offset,
+                             global_states_.data() + entry.state_offset);
+    }
+  }
+  return Status::OK();
+}
+
+Status PhysicalUngroupedAggregate::GetResult(DataChunk &out) {
+  std::lock_guard<std::mutex> guard(lock_);
+  for (idx_t a = 0; a < aggregates_.size(); a++) {
+    const auto &entry = aggregates_[a];
+    Vector &result = out.column(a);
+    if (entry.is_string) {
+      const auto &value = global_strings_[entry.string_index].value;
+      if (value) {
+        result.SetString(0, *value);
+      } else {
+        result.validity().SetInvalid(0);
+        result.Values<string_t>()[0] = string_t();
+      }
+    } else {
+      entry.function.finalize(global_states_.data() + entry.state_offset,
+                              result, 0);
+    }
+  }
+  out.SetCount(1);
+  return Status::OK();
+}
+
+}  // namespace ssagg

@@ -1,0 +1,81 @@
+#ifndef SSAGG_CORE_UNGROUPED_AGGREGATE_H_
+#define SSAGG_CORE_UNGROUPED_AGGREGATE_H_
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/aggregate_function.h"
+#include "execution/operator.h"
+
+namespace ssagg {
+
+/// Aggregation without GROUP BY (paper Section V, "Low Cardinality
+/// Aggregation", extreme case): each thread folds its morsels into a local
+/// state vector; combining the per-thread states is a negligible, single
+/// mutex-serialized step ("combining, e.g., four rows from each thread, has
+/// a negligible cost"). No hash table, no partitioning, no spilling — the
+/// state is a few bytes regardless of input size.
+///
+/// VARCHAR inputs are supported for MIN/MAX/ANY_VALUE by keeping the
+/// candidate value in owned (boxed) per-thread storage.
+class PhysicalUngroupedAggregate : public DataSink {
+ public:
+  static Result<std::unique_ptr<PhysicalUngroupedAggregate>> Create(
+      std::vector<LogicalTypeId> input_types,
+      std::vector<AggregateRequest> aggregates);
+
+  std::vector<LogicalTypeId> OutputTypes() const;
+
+  Result<std::unique_ptr<LocalSinkState>> InitLocal() override;
+  Status Sink(DataChunk &chunk, LocalSinkState &state) override;
+  Status Combine(LocalSinkState &state) override;
+
+  /// Produces the single result row; call after the pipeline finished.
+  Status GetResult(DataChunk &out);
+
+ private:
+  /// Boxed state for a string-typed MIN/MAX/ANY_VALUE.
+  struct StringState {
+    std::optional<std::string> value;
+  };
+
+  struct AggregateEntry {
+    AggregateRequest request;
+    AggregateFunction function;  // numeric path
+    idx_t state_offset = 0;
+    bool is_string = false;      // boxed path
+    idx_t string_index = 0;
+    LogicalTypeId result_type;
+  };
+
+  struct LocalState : public LocalSinkState {
+    std::vector<data_t> states;
+    std::vector<StringState> strings;
+  };
+
+  explicit PhysicalUngroupedAggregate(
+      std::vector<LogicalTypeId> input_types)
+      : input_types_(std::move(input_types)) {}
+
+  void UpdateString(const AggregateEntry &entry, const Vector &input,
+                    idx_t count, StringState &state) const;
+  void CombineString(const AggregateEntry &entry, const StringState &src,
+                     StringState &dst) const;
+
+  std::vector<LogicalTypeId> input_types_;
+  std::vector<AggregateEntry> aggregates_;
+  idx_t total_state_width_ = 0;
+  idx_t string_state_count_ = 0;
+
+  std::mutex lock_;
+  std::vector<data_t> global_states_;
+  std::vector<StringState> global_strings_;
+  bool has_input_ = false;
+};
+
+}  // namespace ssagg
+
+#endif  // SSAGG_CORE_UNGROUPED_AGGREGATE_H_

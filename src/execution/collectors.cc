@@ -1,0 +1,97 @@
+#include "execution/collectors.h"
+
+namespace ssagg {
+
+namespace {
+class EmptyLocalState : public LocalSinkState {};
+
+std::vector<Value> BoxRow(const DataChunk &chunk, idx_t row) {
+  std::vector<Value> values;
+  values.reserve(chunk.ColumnCount());
+  for (idx_t c = 0; c < chunk.ColumnCount(); c++) {
+    values.push_back(Value::FromVector(chunk.column(c), row));
+  }
+  return values;
+}
+}  // namespace
+
+//===----------------------------------------------------------------------===//
+// MaterializedCollector
+//===----------------------------------------------------------------------===//
+
+Result<std::unique_ptr<LocalSinkState>> MaterializedCollector::InitLocal() {
+  return std::unique_ptr<LocalSinkState>(new EmptyLocalState());
+}
+
+Status MaterializedCollector::Sink(DataChunk &chunk, LocalSinkState &) {
+  std::lock_guard<std::mutex> guard(lock_);
+  for (idx_t i = 0; i < chunk.size(); i++) {
+    rows_.push_back(BoxRow(chunk, i));
+  }
+  return Status::OK();
+}
+
+Status MaterializedCollector::Combine(LocalSinkState &) {
+  return Status::OK();
+}
+
+//===----------------------------------------------------------------------===//
+// OffsetCollector
+//===----------------------------------------------------------------------===//
+
+Result<std::unique_ptr<LocalSinkState>> OffsetCollector::InitLocal() {
+  return std::unique_ptr<LocalSinkState>(new EmptyLocalState());
+}
+
+Status OffsetCollector::Sink(DataChunk &chunk, LocalSinkState &) {
+  idx_t start = total_.fetch_add(chunk.size(), std::memory_order_relaxed);
+  // Rows [start, start + count) of the global result; keep those at or past
+  // the offset.
+  if (start + chunk.size() <= offset_) {
+    return Status::OK();
+  }
+  std::lock_guard<std::mutex> guard(lock_);
+  for (idx_t i = 0; i < chunk.size(); i++) {
+    if (start + i >= offset_) {
+      kept_.push_back(BoxRow(chunk, i));
+    }
+  }
+  return Status::OK();
+}
+
+Status OffsetCollector::Combine(LocalSinkState &) { return Status::OK(); }
+
+//===----------------------------------------------------------------------===//
+// CountingCollector
+//===----------------------------------------------------------------------===//
+
+Result<std::unique_ptr<LocalSinkState>> CountingCollector::InitLocal() {
+  return std::unique_ptr<LocalSinkState>(new EmptyLocalState());
+}
+
+Status CountingCollector::Sink(DataChunk &chunk, LocalSinkState &) {
+  total_.fetch_add(chunk.size(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status CountingCollector::Combine(LocalSinkState &) { return Status::OK(); }
+
+Status MaterializedCollector::Reset() {
+  std::lock_guard<std::mutex> guard(lock_);
+  rows_.clear();
+  return Status::OK();
+}
+
+Status OffsetCollector::Reset() {
+  std::lock_guard<std::mutex> guard(lock_);
+  total_.store(0, std::memory_order_relaxed);
+  kept_.clear();
+  return Status::OK();
+}
+
+Status CountingCollector::Reset() {
+  total_.store(0, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+}  // namespace ssagg

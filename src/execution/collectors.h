@@ -1,0 +1,73 @@
+#ifndef SSAGG_EXECUTION_COLLECTORS_H_
+#define SSAGG_EXECUTION_COLLECTORS_H_
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "common/value.h"
+#include "execution/operator.h"
+
+namespace ssagg {
+
+/// Collects every row as boxed values. For tests, examples, and small
+/// result sets only.
+class MaterializedCollector : public DataSink {
+ public:
+  Result<std::unique_ptr<LocalSinkState>> InitLocal() override;
+  Status Sink(DataChunk &chunk, LocalSinkState &state) override;
+  Status Combine(LocalSinkState &state) override;
+  Status Reset() override;
+
+  /// Rows in unspecified order (parallel sinks).
+  const std::vector<std::vector<Value>> &rows() const { return rows_; }
+  idx_t RowCount() const { return rows_.size(); }
+
+ private:
+  std::mutex lock_;
+  std::vector<std::vector<Value>> rows_;
+};
+
+/// Implements the paper's benchmark query shape: `... OFFSET N - 1` — the
+/// first N-1 result rows are counted and discarded, anything after the
+/// offset is kept (exactly one row when N equals the number of unique
+/// groups). This forces full aggregation while producing a single-row
+/// result, avoiding client-transfer overhead in measurements (Section VI,
+/// "Query").
+class OffsetCollector : public DataSink {
+ public:
+  explicit OffsetCollector(idx_t offset) : offset_(offset) {}
+
+  Result<std::unique_ptr<LocalSinkState>> InitLocal() override;
+  Status Sink(DataChunk &chunk, LocalSinkState &state) override;
+  Status Combine(LocalSinkState &state) override;
+  Status Reset() override;
+
+  idx_t TotalRows() const { return total_.load(std::memory_order_relaxed); }
+  const std::vector<std::vector<Value>> &kept_rows() const { return kept_; }
+
+ private:
+  idx_t offset_;
+  std::atomic<idx_t> total_{0};
+  std::mutex lock_;
+  std::vector<std::vector<Value>> kept_;
+};
+
+/// Counts rows and accumulates a cheap checksum; used by benchmarks to
+/// prevent dead-code elimination without materializing results.
+class CountingCollector : public DataSink {
+ public:
+  Result<std::unique_ptr<LocalSinkState>> InitLocal() override;
+  Status Sink(DataChunk &chunk, LocalSinkState &state) override;
+  Status Combine(LocalSinkState &state) override;
+  Status Reset() override;
+
+  idx_t TotalRows() const { return total_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<idx_t> total_{0};
+};
+
+}  // namespace ssagg
+
+#endif  // SSAGG_EXECUTION_COLLECTORS_H_

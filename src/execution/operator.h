@@ -1,0 +1,64 @@
+#ifndef SSAGG_EXECUTION_OPERATOR_H_
+#define SSAGG_EXECUTION_OPERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/vector.h"
+
+namespace ssagg {
+
+/// Per-thread state of a source. Sources hand out morsels through a shared
+/// (internally synchronized) global state.
+class LocalSourceState {
+ public:
+  virtual ~LocalSourceState() = default;
+};
+
+/// Per-thread state of a sink (paper Section V: "Operators may have a local
+/// state per thread and one state shared across all threads").
+class LocalSinkState {
+ public:
+  virtual ~LocalSinkState() = default;
+};
+
+/// A morsel-parallel data producer. GetData is called concurrently from all
+/// worker threads; implementations dispatch morsels via atomics.
+class DataSource {
+ public:
+  virtual ~DataSource() = default;
+  virtual std::vector<LogicalTypeId> Types() const = 0;
+  virtual Result<std::unique_ptr<LocalSourceState>> InitLocal() = 0;
+  /// Fills `chunk` with up to kVectorSize rows; returns false when this
+  /// thread has exhausted the source.
+  virtual Result<bool> GetData(DataChunk &chunk, LocalSourceState &state) = 0;
+
+  /// Prepares the source to be scanned again from the start (needed by
+  /// restart-on-memory-pressure strategies). Not all sources support it.
+  virtual Status Rewind() {
+    return Status::NotImplemented("source cannot be rewound");
+  }
+};
+
+/// A morsel-parallel data consumer (pipeline breaker or final collector).
+class DataSink {
+ public:
+  virtual ~DataSink() = default;
+  virtual Result<std::unique_ptr<LocalSinkState>> InitLocal() = 0;
+  virtual Status Sink(DataChunk &chunk, LocalSinkState &state) = 0;
+  /// Called once per thread when its morsels are exhausted; merges the
+  /// thread-local state into the shared state. May run concurrently;
+  /// implementations synchronize internally.
+  virtual Status Combine(LocalSinkState &state) = 0;
+
+  /// Discards everything collected so far (used when a baseline strategy
+  /// restarts the query after running out of memory). Optional.
+  virtual Status Reset() {
+    return Status::NotImplemented("sink cannot be reset");
+  }
+};
+
+}  // namespace ssagg
+
+#endif  // SSAGG_EXECUTION_OPERATOR_H_

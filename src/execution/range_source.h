@@ -1,0 +1,77 @@
+#ifndef SSAGG_EXECUTION_RANGE_SOURCE_H_
+#define SSAGG_EXECUTION_RANGE_SOURCE_H_
+
+#include <atomic>
+#include <functional>
+#include <utility>
+
+#include "execution/operator.h"
+
+namespace ssagg {
+
+/// Morsel-parallel source over a logical row range [0, total_rows). Worker
+/// threads claim morsels of kMorselSize rows through an atomic counter and
+/// materialize them in kVectorSize batches via a row-deterministic filler
+/// function. This is the "morsels are assigned to threads until all input
+/// data has been read" part of the paper's Figure 3.
+class RangeSource : public DataSource {
+ public:
+  /// filler(chunk, start_row, count): materialize rows [start_row,
+  /// start_row + count) into chunk (count <= kVectorSize). The chunk's
+  /// count is pre-set to `count`; a filtering filler may lower it with
+  /// chunk.SetCount() (the logical cursor still advances by `count`).
+  using Filler = std::function<Status(DataChunk &, idx_t, idx_t)>;
+
+  RangeSource(std::vector<LogicalTypeId> types, idx_t total_rows,
+              Filler filler)
+      : types_(std::move(types)),
+        total_rows_(total_rows),
+        filler_(std::move(filler)) {}
+
+  std::vector<LogicalTypeId> Types() const override { return types_; }
+
+  Result<std::unique_ptr<LocalSourceState>> InitLocal() override {
+    return std::unique_ptr<LocalSourceState>(new LocalState());
+  }
+
+  Result<bool> GetData(DataChunk &chunk, LocalSourceState &state) override {
+    auto &local = static_cast<LocalState &>(state);
+    if (local.position >= local.morsel_end) {
+      // Claim the next morsel.
+      idx_t start = next_morsel_.fetch_add(kMorselSize,
+                                           std::memory_order_relaxed);
+      if (start >= total_rows_) {
+        return false;
+      }
+      local.position = start;
+      local.morsel_end = std::min(start + kMorselSize, total_rows_);
+    }
+    idx_t count = std::min<idx_t>(kVectorSize, local.morsel_end -
+                                                   local.position);
+    chunk.SetCount(count);
+    SSAGG_RETURN_NOT_OK(filler_(chunk, local.position, count));
+    local.position += count;
+    return true;
+  }
+
+  /// Resets the morsel dispenser so the source can be scanned again.
+  Status Rewind() override {
+    next_morsel_.store(0, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+ private:
+  struct LocalState : public LocalSourceState {
+    idx_t position = 0;
+    idx_t morsel_end = 0;
+  };
+
+  std::vector<LogicalTypeId> types_;
+  idx_t total_rows_;
+  Filler filler_;
+  std::atomic<idx_t> next_morsel_{0};
+};
+
+}  // namespace ssagg
+
+#endif  // SSAGG_EXECUTION_RANGE_SOURCE_H_

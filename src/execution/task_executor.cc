@@ -1,0 +1,147 @@
+#include "execution/task_executor.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+namespace ssagg {
+
+namespace {
+
+/// Collects the first error from concurrent workers.
+class ErrorCollector {
+ public:
+  void Set(Status status) {
+    if (status.ok()) {
+      return;
+    }
+    std::lock_guard<std::mutex> guard(lock_);
+    if (first_error_.ok()) {
+      first_error_ = std::move(status);
+    }
+    failed_.store(true, std::memory_order_relaxed);
+  }
+  bool Failed() const { return failed_.load(std::memory_order_relaxed); }
+  Status Take() {
+    std::lock_guard<std::mutex> guard(lock_);
+    return first_error_;
+  }
+
+ private:
+  std::mutex lock_;
+  Status first_error_;
+  std::atomic<bool> failed_{false};
+};
+
+}  // namespace
+
+void TaskExecutor::SetDeadline(double seconds_from_now) {
+  has_deadline_ = true;
+  deadline_ = std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(seconds_from_now));
+}
+
+Status TaskExecutor::CheckDeadline() const {
+  if (has_deadline_ && std::chrono::steady_clock::now() > deadline_) {
+    return Status::Timeout("query exceeded its deadline");
+  }
+  return Status::OK();
+}
+
+Status TaskExecutor::RunPipeline(DataSource &source, DataSink &sink) {
+  ErrorCollector errors;
+  auto worker = [&]() {
+    auto lsource = source.InitLocal();
+    if (!lsource.ok()) {
+      errors.Set(lsource.status());
+      return;
+    }
+    auto lsink = sink.InitLocal();
+    if (!lsink.ok()) {
+      errors.Set(lsink.status());
+      return;
+    }
+    DataChunk chunk(source.Types());
+    idx_t chunks_since_check = 0;
+    while (!errors.Failed()) {
+      if (++chunks_since_check >= 16) {
+        chunks_since_check = 0;
+        Status deadline = CheckDeadline();
+        if (!deadline.ok()) {
+          errors.Set(std::move(deadline));
+          return;
+        }
+      }
+      chunk.Reset();
+      auto more = source.GetData(chunk, *lsource.value());
+      if (!more.ok()) {
+        errors.Set(more.status());
+        return;
+      }
+      if (!more.value()) {
+        break;
+      }
+      if (chunk.size() == 0) {
+        continue;
+      }
+      Status st = sink.Sink(chunk, *lsink.value());
+      if (!st.ok()) {
+        errors.Set(st);
+        return;
+      }
+    }
+    if (!errors.Failed()) {
+      errors.Set(sink.Combine(*lsink.value()));
+    }
+  };
+
+  if (num_threads_ <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads_);
+    for (idx_t t = 0; t < num_threads_; t++) {
+      threads.emplace_back(worker);
+    }
+    for (auto &th : threads) {
+      th.join();
+    }
+  }
+  return errors.Take();
+}
+
+Status TaskExecutor::RunTasks(const std::vector<std::function<Status()>> &tasks) {
+  ErrorCollector errors;
+  std::atomic<idx_t> next{0};
+  auto worker = [&]() {
+    while (!errors.Failed()) {
+      Status deadline = CheckDeadline();
+      if (!deadline.ok()) {
+        errors.Set(std::move(deadline));
+        return;
+      }
+      idx_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= tasks.size()) {
+        return;
+      }
+      errors.Set(tasks[i]());
+    }
+  };
+  idx_t nthreads = std::min<idx_t>(num_threads_, tasks.size());
+  if (nthreads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(nthreads);
+    for (idx_t t = 0; t < nthreads; t++) {
+      threads.emplace_back(worker);
+    }
+    for (auto &th : threads) {
+      th.join();
+    }
+  }
+  return errors.Take();
+}
+
+}  // namespace ssagg

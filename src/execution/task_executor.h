@@ -1,0 +1,46 @@
+#ifndef SSAGG_EXECUTION_TASK_EXECUTOR_H_
+#define SSAGG_EXECUTION_TASK_EXECUTOR_H_
+
+#include <chrono>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "execution/operator.h"
+
+namespace ssagg {
+
+/// Runs morsel-driven pipelines and parallel task sets on a fixed number of
+/// worker threads (paper Section V, "Parallelism"). Each pipeline run
+/// spawns the workers, drives source -> sink until the source is dry, and
+/// calls Combine once per thread. The first error aborts the run.
+class TaskExecutor {
+ public:
+  explicit TaskExecutor(idx_t num_threads) : num_threads_(num_threads) {}
+
+  idx_t num_threads() const { return num_threads_; }
+
+  /// Arms a wall-clock deadline (the benchmark harness' query timeout).
+  /// Pipelines abort with Status::Timeout once it passes; long-running
+  /// operators may also poll CheckDeadline() from their inner loops.
+  void SetDeadline(double seconds_from_now);
+  void ClearDeadline() { has_deadline_ = false; }
+  Status CheckDeadline() const;
+
+  /// Executes one pipeline: every worker repeatedly pulls a chunk from the
+  /// source and pushes it into the sink, then combines its local state.
+  Status RunPipeline(DataSource &source, DataSink &sink);
+
+  /// Runs independent tasks in parallel, each at most once; tasks are
+  /// claimed through an atomic counter (used for partition-wise phase 2).
+  Status RunTasks(const std::vector<std::function<Status()>> &tasks);
+
+ private:
+  idx_t num_threads_;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+}  // namespace ssagg
+
+#endif  // SSAGG_EXECUTION_TASK_EXECUTOR_H_

@@ -1,0 +1,52 @@
+#ifndef SSAGG_LAYOUT_RADIX_PARTITIONING_H_
+#define SSAGG_LAYOUT_RADIX_PARTITIONING_H_
+
+#include "common/constants.h"
+
+namespace ssagg {
+
+/// How the 64 hash bits are carved up (paper Section V, "Partitioning"):
+///
+///   bits [0, 24)   : offset into the hash-table entry array (capacity is
+///                    therefore capped at 2^24 entries)
+///   bits [24, 48)  : radix partition (up to 24 bits of fan-out)
+///   bits [48, 64)  : salt, stored in the upper 16 bits of the entry
+///
+/// "It is important that any of the used bits do not overlap, as this would
+/// lead to more collisions and/or reduced effectiveness of the salt."
+constexpr idx_t kRadixShift = 24;
+constexpr idx_t kSaltShift = 48;
+constexpr idx_t kMaxHashTableBits = 24;
+constexpr idx_t kMaxRadixBits = kSaltShift - kRadixShift;
+constexpr uint64_t kPointerMask = (1ULL << 48) - 1;
+
+static_assert(kPhase1HashTableCapacity <= (1ULL << kMaxHashTableBits),
+              "hash-table offset bits would overlap the radix bits");
+
+inline idx_t RadixPartition(hash_t hash, idx_t radix_bits) {
+  return (hash >> kRadixShift) & ((idx_t(1) << radix_bits) - 1);
+}
+
+inline uint16_t ExtractSalt(hash_t hash) {
+  return static_cast<uint16_t>(hash >> kSaltShift);
+}
+
+/// Builds a hash-table entry: 48-bit pointer in the low bits, 16-bit salt
+/// in the high bits. "Pointers have a width of 64 bits ... but only the
+/// lower 48 bits are used" (Section V, "Salt").
+inline uint64_t MakeEntry(const void *row_ptr, uint16_t salt) {
+  auto bits = reinterpret_cast<uint64_t>(row_ptr);
+  return (bits & kPointerMask) | (static_cast<uint64_t>(salt) << kSaltShift);
+}
+
+inline uint16_t EntrySalt(uint64_t entry) {
+  return static_cast<uint16_t>(entry >> kSaltShift);
+}
+
+inline data_ptr_t EntryPointer(uint64_t entry) {
+  return reinterpret_cast<data_ptr_t>(entry & kPointerMask);
+}
+
+}  // namespace ssagg
+
+#endif  // SSAGG_LAYOUT_RADIX_PARTITIONING_H_

@@ -1,0 +1,29 @@
+#include "layout/tuple_data_layout.h"
+
+#include "common/status.h"
+
+namespace ssagg {
+
+void TupleDataLayout::Initialize(std::vector<LogicalTypeId> types,
+                                 idx_t aggregate_state_width) {
+  types_ = std::move(types);
+  offsets_.clear();
+  varsize_columns_.clear();
+  validity_bytes_ = (types_.size() + 7) / 8;
+  idx_t offset = validity_bytes_;
+  for (idx_t i = 0; i < types_.size(); i++) {
+    offsets_.push_back(offset);
+    offset += TypeWidth(types_[i]);
+    if (TypeIsVarSize(types_[i])) {
+      varsize_columns_.push_back(i);
+    }
+  }
+  aggr_offset_ = offset;
+  aggr_width_ = aggregate_state_width;
+  row_width_ = offset + aggregate_state_width;
+  // Align rows to 8 bytes so fixed-width slots are reasonably aligned.
+  row_width_ = (row_width_ + 7) & ~idx_t(7);
+  SSAGG_ASSERT(row_width_ <= kPageSize);
+}
+
+}  // namespace ssagg

@@ -1,0 +1,74 @@
+#ifndef SSAGG_LAYOUT_TUPLE_DATA_LAYOUT_H_
+#define SSAGG_LAYOUT_TUPLE_DATA_LAYOUT_H_
+
+#include <vector>
+
+#include "common/constants.h"
+#include "common/types.h"
+
+namespace ssagg {
+
+/// Describes the fixed-size row format used for materialized query
+/// intermediates (paper Section IV). A row is:
+///
+///   [ validity bits ][ column 0 ][ column 1 ] ... [ aggregate states ]
+///
+/// All widths and offsets are known when the layout is created and stored
+/// once, globally — not per page. Variable-size values (VARCHAR) occupy a
+/// fixed 16-byte string_t slot in the row; their character data lives on
+/// separate heap pages and is referenced with an explicit pointer
+/// (requirements 1-3 of Section IV).
+class TupleDataLayout {
+ public:
+  TupleDataLayout() = default;
+
+  /// Creates a layout for the given columns, optionally reserving
+  /// `aggregate_state_width` trailing bytes per row for aggregate states.
+  void Initialize(std::vector<LogicalTypeId> types,
+                  idx_t aggregate_state_width = 0);
+
+  idx_t ColumnCount() const { return types_.size(); }
+  LogicalTypeId ColumnType(idx_t col) const { return types_[col]; }
+  const std::vector<LogicalTypeId> &Types() const { return types_; }
+
+  /// Byte offset of a column's value slot within the row.
+  idx_t ColumnOffset(idx_t col) const { return offsets_[col]; }
+  /// Offset of the aggregate-state area.
+  idx_t AggregateOffset() const { return aggr_offset_; }
+  idx_t AggregateWidth() const { return aggr_width_; }
+  idx_t RowWidth() const { return row_width_; }
+
+  /// True if no column references heap data (no VARCHAR columns).
+  bool AllConstantSize() const { return varsize_columns_.empty(); }
+  /// Indices of the VARCHAR columns, in row order.
+  const std::vector<idx_t> &VarSizeColumns() const { return varsize_columns_; }
+
+  /// Rows per fixed-size page.
+  idx_t RowsPerPage() const { return kPageSize / row_width_; }
+
+  // Validity bits are at the head of the row, one bit per column.
+  bool RowIsColumnValid(const_data_ptr_t row, idx_t col) const {
+    return (row[col >> 3] >> (col & 7)) & 1;
+  }
+  void RowSetColumnValid(data_ptr_t row, idx_t col, bool valid) const {
+    if (valid) {
+      row[col >> 3] |= static_cast<data_t>(1 << (col & 7));
+    } else {
+      row[col >> 3] &= static_cast<data_t>(~(1 << (col & 7)));
+    }
+  }
+  idx_t ValidityBytes() const { return validity_bytes_; }
+
+ private:
+  std::vector<LogicalTypeId> types_;
+  std::vector<idx_t> offsets_;
+  std::vector<idx_t> varsize_columns_;
+  idx_t validity_bytes_ = 0;
+  idx_t row_width_ = 0;
+  idx_t aggr_offset_ = 0;
+  idx_t aggr_width_ = 0;
+};
+
+}  // namespace ssagg
+
+#endif  // SSAGG_LAYOUT_TUPLE_DATA_LAYOUT_H_

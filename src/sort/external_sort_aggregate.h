@@ -1,0 +1,97 @@
+#ifndef SSAGG_SORT_EXTERNAL_SORT_AGGREGATE_H_
+#define SSAGG_SORT_EXTERNAL_SORT_AGGREGATE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "buffer/buffer_manager.h"
+#include "core/aggregate_row_layout.h"
+#include "execution/operator.h"
+#include "execution/task_executor.h"
+#include "sort/row_serializer.h"
+
+namespace ssagg {
+
+/// The "traditional disk-based algorithm" the paper's related work
+/// discusses (Section II): external sort-merge aggregation with O(n log n)
+/// complexity and explicit temporary-file I/O.
+///
+///   1. Every input row is materialized (no pre-aggregation). When a
+///      thread's run arena exceeds its memory budget, the run is sorted by
+///      the group columns and serialized to its own temporary file.
+///   2. A single-pass k-way merge streams the sorted runs and aggregates
+///      adjacent equal keys, emitting each group once.
+///
+/// This operator is the fallback of the "switch to external" baseline
+/// (HyPer-model); its cost profile — serialize everything, sort, merge —
+/// is what creates the paper's performance cliff.
+class ExternalSortAggregate : public DataSink {
+ public:
+  struct Config {
+    /// Per-thread in-memory run size before sorting and spilling.
+    idx_t run_memory_bytes = 16ULL << 20;
+    std::string temp_directory = ".";
+  };
+
+  static Result<std::unique_ptr<ExternalSortAggregate>> Create(
+      BufferManager &buffer_manager, std::vector<LogicalTypeId> input_types,
+      std::vector<idx_t> group_columns,
+      std::vector<AggregateRequest> aggregates, Config config);
+
+  std::vector<LogicalTypeId> OutputTypes() const;
+
+  // DataSink (run generation)
+  Result<std::unique_ptr<LocalSinkState>> InitLocal() override;
+  Status Sink(DataChunk &chunk, LocalSinkState &state) override;
+  Status Combine(LocalSinkState &state) override;
+
+  /// Merge phase: k-way merge + streaming aggregation into `output`.
+  /// Single-threaded, as in classic implementations.
+  Status EmitResults(DataSink &output, TaskExecutor &executor);
+
+  idx_t RunCount() const { return runs_.size(); }
+  idx_t RunBytes() const { return run_bytes_.load(); }
+
+ private:
+  struct RunInfo {
+    std::string path;
+    idx_t rows;
+  };
+
+  struct LocalState;
+
+  ExternalSortAggregate(BufferManager &buffer_manager,
+                        std::vector<LogicalTypeId> input_types, Config config)
+      : buffer_manager_(buffer_manager),
+        input_types_(std::move(input_types)),
+        config_(config) {}
+
+  /// Sorts the local arena by group columns and writes it out as one run.
+  Status SortAndSpill(LocalState &local);
+
+  BufferManager &buffer_manager_;
+  std::vector<LogicalTypeId> input_types_;
+  Config config_;
+
+  /// Run rows: [group columns..., one raw column per aggregate input].
+  TupleDataLayout run_layout_;
+  idx_t group_count_ = 0;
+  /// For run column rc: which input-chunk column it materializes.
+  std::vector<idx_t> run_input_columns_;
+  /// For aggregate k: its run column (kInvalidIndex for COUNT(*)).
+  std::vector<idx_t> aggregate_run_columns_;
+  std::vector<AggregateObject> aggregates_;
+  idx_t total_state_width_ = 0;
+
+  std::mutex lock_;
+  std::vector<RunInfo> runs_;
+  std::atomic<idx_t> next_run_id_{0};
+  std::atomic<idx_t> run_bytes_{0};
+};
+
+}  // namespace ssagg
+
+#endif  // SSAGG_SORT_EXTERNAL_SORT_AGGREGATE_H_

@@ -1,0 +1,89 @@
+#ifndef SSAGG_SORT_ROW_COMPARE_H_
+#define SSAGG_SORT_ROW_COMPARE_H_
+
+#include <cstring>
+
+#include "common/string_type.h"
+#include "common/vector.h"
+#include "layout/tuple_data_layout.h"
+
+namespace ssagg {
+
+/// Three-way comparison of two layout rows on the first `ncols` columns.
+/// NULLs sort first; strings compare lexicographically. Used by the
+/// sort-based baseline's run sort and merge.
+inline int CompareLayoutRows(const TupleDataLayout &layout, idx_t ncols,
+                             const_data_ptr_t a, const_data_ptr_t b) {
+  for (idx_t c = 0; c < ncols; c++) {
+    bool va = layout.RowIsColumnValid(a, c);
+    bool vb = layout.RowIsColumnValid(b, c);
+    if (va != vb) {
+      return va ? 1 : -1;  // NULL first
+    }
+    if (!va) {
+      continue;
+    }
+    idx_t offset = layout.ColumnOffset(c);
+    switch (layout.ColumnType(c)) {
+      case LogicalTypeId::kBoolean: {
+        uint8_t x = a[offset], y = b[offset];
+        if (x != y) {
+          return x < y ? -1 : 1;
+        }
+        break;
+      }
+      case LogicalTypeId::kInt32:
+      case LogicalTypeId::kDate: {
+        int32_t x, y;
+        std::memcpy(&x, a + offset, 4);
+        std::memcpy(&y, b + offset, 4);
+        if (x != y) {
+          return x < y ? -1 : 1;
+        }
+        break;
+      }
+      case LogicalTypeId::kInt64: {
+        int64_t x, y;
+        std::memcpy(&x, a + offset, 8);
+        std::memcpy(&y, b + offset, 8);
+        if (x != y) {
+          return x < y ? -1 : 1;
+        }
+        break;
+      }
+      case LogicalTypeId::kDouble: {
+        double x, y;
+        std::memcpy(&x, a + offset, 8);
+        std::memcpy(&y, b + offset, 8);
+        if (x < y) {
+          return -1;
+        }
+        if (y < x) {
+          return 1;
+        }
+        break;
+      }
+      case LogicalTypeId::kVarchar: {
+        string_t x, y;
+        std::memcpy(&x, a + offset, sizeof(string_t));
+        std::memcpy(&y, b + offset, sizeof(string_t));
+        auto vx = x.View(), vy = y.View();
+        int cmp = vx.compare(vy);
+        if (cmp != 0) {
+          return cmp < 0 ? -1 : 1;
+        }
+        break;
+      }
+    }
+  }
+  return 0;
+}
+
+inline bool LayoutRowsEqual(const TupleDataLayout &layout, idx_t ncols,
+                            const_data_ptr_t a, const_data_ptr_t b) {
+  return CompareLayoutRows(layout, ncols, a, b) == 0;
+}
+
+}  // namespace ssagg
+
+#endif  // SSAGG_SORT_ROW_COMPARE_H_

@@ -1,0 +1,88 @@
+#ifndef SSAGG_SORT_ROW_SERIALIZER_H_
+#define SSAGG_SORT_ROW_SERIALIZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/file_system.h"
+#include "common/string_heap.h"
+#include "common/vector.h"
+#include "layout/tuple_data_layout.h"
+
+namespace ssagg {
+
+/// Classic (de)serializing temporary-file I/O for layout rows — the
+/// approach the paper's page layout is designed to AVOID (Section IV,
+/// "(De-)Serialization"). The baseline algorithms use this: every spilled
+/// row pays a serialize on write and a deserialize (with pointer fixup) on
+/// read.
+///
+/// Format per row: the fixed row bytes, then the character data of each
+/// valid non-inlined string column, in column order (lengths are already in
+/// the fixed part).
+class RunWriter {
+ public:
+  RunWriter(const TupleDataLayout &layout, std::string path)
+      : layout_(layout), path_(std::move(path)) {}
+
+  Status Open();
+  Status WriteRow(const_data_ptr_t row);
+  /// Flushes buffered data; the file stays readable afterwards.
+  Status Finish();
+
+  idx_t RowCount() const { return rows_; }
+  idx_t BytesWritten() const { return bytes_ + buffer_.size(); }
+  const std::string &path() const { return path_; }
+
+ private:
+  Status FlushBuffer();
+
+  const TupleDataLayout &layout_;
+  std::string path_;
+  std::unique_ptr<FileHandle> file_;
+  std::vector<data_t> buffer_;
+  idx_t bytes_ = 0;
+  idx_t rows_ = 0;
+};
+
+/// Streaming reader over a run file. Deserializes batches of rows into an
+/// internal arena; the returned row pointers (and their fixed-up string
+/// pointers) stay valid until the next ReadBatch call.
+class RunReader {
+ public:
+  RunReader(const TupleDataLayout &layout, std::string path, idx_t row_count)
+      : layout_(layout), path_(std::move(path)), remaining_(row_count) {}
+
+  Status Open();
+
+  /// Reads up to max_rows rows; returns the number read (0 = exhausted).
+  /// Row pointers are appended to `rows_out`.
+  Result<idx_t> ReadBatch(idx_t max_rows, std::vector<data_ptr_t> &rows_out);
+
+  /// Gathers previously read rows into a DataChunk (layout column types).
+  void GatherBatch(const std::vector<data_ptr_t> &rows, DataChunk &out) const;
+
+  idx_t remaining() const { return remaining_; }
+  /// Deletes the run file.
+  Status Remove();
+
+ private:
+  Status FillBuffer(idx_t at_least);
+
+  const TupleDataLayout &layout_;
+  std::string path_;
+  std::unique_ptr<FileHandle> file_;
+  idx_t remaining_;
+  idx_t file_offset_ = 0;
+  idx_t file_size_ = 0;
+  std::vector<data_t> buffer_;   // raw bytes read from the file
+  idx_t buffer_pos_ = 0;
+  idx_t buffer_end_ = 0;
+  std::vector<data_t> arena_;    // deserialized rows for the current batch
+  StringHeap heap_;              // deserialized string data
+};
+
+}  // namespace ssagg
+
+#endif  // SSAGG_SORT_ROW_SERIALIZER_H_

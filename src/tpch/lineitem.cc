@@ -1,0 +1,291 @@
+#include "tpch/lineitem.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace ssagg {
+namespace tpch {
+
+namespace {
+
+/// Rows per scale-factor unit: 1/100 of TPC-H's 6,001,215 rows per unit.
+constexpr idx_t kRowsPerUnit = 60012;
+constexpr idx_t kPartsPerUnit = 2000;  // 1/100 of 200,000
+constexpr idx_t kSuppsPerUnit = 100;   // 1/100 of 10,000
+constexpr idx_t kLinesPerOrder = 4;
+constexpr int32_t kShipDateBase = 8036;   // 1992-01-02 as days since epoch
+constexpr int32_t kShipDateRange = 2526;  // through 1998-12-01
+/// Ship dates after this are "not yet returned": flag N, status O.
+constexpr int32_t kCurrentDateOffset = 1721;  // 1995-06-17
+
+/// Per-row, per-column deterministic random stream.
+inline uint64_t Rand(idx_t row, uint64_t column_seed) {
+  return HashUint64(row * 31 + column_seed * 0x9e3779b97f4a7c15ULL + 17);
+}
+
+const char *const kShipModes[7] = {"AIR",     "FOB",  "MAIL", "RAIL",
+                                   "REG AIR", "SHIP", "TRUCK"};
+const char *const kShipInstructs[4] = {"DELIVER IN PERSON", "COLLECT COD",
+                                       "NONE", "TAKE BACK RETURN"};
+const char *const kWords[24] = {
+    "furiously", "quickly", "carefully", "blithely",  "slyly",    "deposits",
+    "requests",  "packages", "accounts", "instructions", "theodolites",
+    "pinto",     "beans",    "foxes",    "ideas",     "dependencies",
+    "platelets", "asymptotes", "somas",  "dugouts",   "braids",   "sauternes",
+    "waters",    "courts"};
+
+std::string MakeComment(idx_t row) {
+  uint64_t r = Rand(row, 99);
+  idx_t words = 3 + (r % 4);
+  std::string comment;
+  for (idx_t w = 0; w < words; w++) {
+    if (w > 0) {
+      comment += ' ';
+    }
+    comment += kWords[(r >> (8 * w)) % 24];
+  }
+  return comment;
+}
+
+}  // namespace
+
+const Schema &LineitemSchema() {
+  static const Schema *schema = new Schema{
+      {"l_orderkey", LogicalTypeId::kInt64},
+      {"l_partkey", LogicalTypeId::kInt64},
+      {"l_suppkey", LogicalTypeId::kInt64},
+      {"l_linenumber", LogicalTypeId::kInt32},
+      {"l_quantity", LogicalTypeId::kInt32},
+      {"l_extendedprice", LogicalTypeId::kDouble},
+      {"l_discount", LogicalTypeId::kDouble},
+      {"l_tax", LogicalTypeId::kDouble},
+      {"l_returnflag", LogicalTypeId::kVarchar},
+      {"l_linestatus", LogicalTypeId::kVarchar},
+      {"l_shipdate", LogicalTypeId::kDate},
+      {"l_commitdate", LogicalTypeId::kDate},
+      {"l_receiptdate", LogicalTypeId::kDate},
+      {"l_shipinstruct", LogicalTypeId::kVarchar},
+      {"l_shipmode", LogicalTypeId::kVarchar},
+      {"l_comment", LogicalTypeId::kVarchar},
+  };
+  return *schema;
+}
+
+LineitemGenerator::LineitemGenerator(double scale_factor)
+    : scale_factor_(scale_factor),
+      row_count_(static_cast<idx_t>(std::llround(scale_factor * kRowsPerUnit))),
+      part_count_(std::max<idx_t>(
+          200, static_cast<idx_t>(std::llround(scale_factor * kPartsPerUnit)))),
+      supp_count_(std::max<idx_t>(
+          10, static_cast<idx_t>(std::llround(scale_factor * kSuppsPerUnit)))) {
+}
+
+std::vector<LogicalTypeId> LineitemGenerator::ColumnTypes(
+    const std::vector<idx_t> &columns) {
+  std::vector<LogicalTypeId> types;
+  types.reserve(columns.size());
+  for (idx_t c : columns) {
+    types.push_back(LineitemSchema()[c].type);
+  }
+  return types;
+}
+
+Status LineitemGenerator::FillChunk(DataChunk &chunk,
+                                    const std::vector<idx_t> &columns,
+                                    idx_t start, idx_t count) const {
+  SSAGG_ASSERT(count <= kVectorSize);
+  for (idx_t ci = 0; ci < columns.size(); ci++) {
+    Vector &vec = chunk.column(ci);
+    switch (columns[ci]) {
+      case kOrderKey:
+        for (idx_t i = 0; i < count; i++) {
+          idx_t order = (start + i) / kLinesPerOrder;
+          // TPC-H's sparse order-key pattern: 8 keys per 32-key window.
+          vec.SetValue<int64_t>(
+              i, static_cast<int64_t>((order / 8) * 32 + order % 8 + 1));
+        }
+        break;
+      case kPartKey:
+        for (idx_t i = 0; i < count; i++) {
+          vec.SetValue<int64_t>(
+              i, static_cast<int64_t>(Rand(start + i, 2) % part_count_ + 1));
+        }
+        break;
+      case kSuppKey:
+        for (idx_t i = 0; i < count; i++) {
+          vec.SetValue<int64_t>(
+              i, static_cast<int64_t>(Rand(start + i, 3) % supp_count_ + 1));
+        }
+        break;
+      case kLineNumber:
+        for (idx_t i = 0; i < count; i++) {
+          vec.SetValue<int32_t>(
+              i, static_cast<int32_t>((start + i) % kLinesPerOrder + 1));
+        }
+        break;
+      case kQuantity:
+        for (idx_t i = 0; i < count; i++) {
+          vec.SetValue<int32_t>(
+              i, static_cast<int32_t>(Rand(start + i, 5) % 50 + 1));
+        }
+        break;
+      case kExtendedPrice:
+        for (idx_t i = 0; i < count; i++) {
+          double qty = static_cast<double>(Rand(start + i, 5) % 50 + 1);
+          double price =
+              900.0 + static_cast<double>(Rand(start + i, 2) % 100000) / 100.0;
+          vec.SetValue<double>(i, qty * price);
+        }
+        break;
+      case kDiscount:
+        for (idx_t i = 0; i < count; i++) {
+          vec.SetValue<double>(
+              i, static_cast<double>(Rand(start + i, 7) % 11) / 100.0);
+        }
+        break;
+      case kTax:
+        for (idx_t i = 0; i < count; i++) {
+          vec.SetValue<double>(
+              i, static_cast<double>(Rand(start + i, 8) % 9) / 100.0);
+        }
+        break;
+      case kReturnFlag:
+        for (idx_t i = 0; i < count; i++) {
+          auto ship = static_cast<int32_t>(Rand(start + i, 10) %
+                                           kShipDateRange);
+          if (ship > kCurrentDateOffset) {
+            vec.SetString(i, "N");
+          } else {
+            vec.SetString(i, Rand(start + i, 9) % 2 ? "R" : "A");
+          }
+        }
+        break;
+      case kLineStatus:
+        for (idx_t i = 0; i < count; i++) {
+          auto ship = static_cast<int32_t>(Rand(start + i, 10) %
+                                           kShipDateRange);
+          vec.SetString(i, ship > kCurrentDateOffset ? "O" : "F");
+        }
+        break;
+      case kShipDate:
+        for (idx_t i = 0; i < count; i++) {
+          vec.SetValue<int32_t>(
+              i, kShipDateBase +
+                     static_cast<int32_t>(Rand(start + i, 10) %
+                                          kShipDateRange));
+        }
+        break;
+      case kCommitDate:
+        for (idx_t i = 0; i < count; i++) {
+          vec.SetValue<int32_t>(
+              i, kShipDateBase +
+                     static_cast<int32_t>(Rand(start + i, 10) %
+                                          kShipDateRange) +
+                     static_cast<int32_t>(Rand(start + i, 11) % 60) - 30);
+        }
+        break;
+      case kReceiptDate:
+        for (idx_t i = 0; i < count; i++) {
+          vec.SetValue<int32_t>(
+              i, kShipDateBase +
+                     static_cast<int32_t>(Rand(start + i, 10) %
+                                          kShipDateRange) +
+                     static_cast<int32_t>(Rand(start + i, 12) % 30) + 1);
+        }
+        break;
+      case kShipInstruct:
+        for (idx_t i = 0; i < count; i++) {
+          vec.SetString(i, kShipInstructs[Rand(start + i, 13) % 4]);
+        }
+        break;
+      case kShipMode:
+        for (idx_t i = 0; i < count; i++) {
+          vec.SetString(i, kShipModes[Rand(start + i, 14) % 7]);
+        }
+        break;
+      case kComment:
+        for (idx_t i = 0; i < count; i++) {
+          vec.SetString(i, MakeComment(start + i));
+        }
+        break;
+      default:
+        return Status::InvalidArgument("unknown lineitem column");
+    }
+  }
+  chunk.SetCount(count);
+  return Status::OK();
+}
+
+std::unique_ptr<RangeSource> LineitemGenerator::MakeSource(
+    std::vector<idx_t> columns) const {
+  auto types = ColumnTypes(columns);
+  const LineitemGenerator *gen = this;
+  return std::make_unique<RangeSource>(
+      types, row_count_,
+      [gen, columns = std::move(columns)](DataChunk &chunk, idx_t start,
+                                          idx_t count) {
+        return gen->FillChunk(chunk, columns, start, count);
+      });
+}
+
+std::string Grouping::Name() const {
+  std::string name;
+  for (idx_t c : columns) {
+    if (!name.empty()) {
+      name += ",";
+    }
+    name += LineitemSchema()[c].name;
+  }
+  return name;
+}
+
+const std::vector<Grouping> &TableIGroupings() {
+  static const std::vector<Grouping> *groupings = new std::vector<Grouping>{
+      {1, {kReturnFlag, kLineStatus}},
+      {2, {kShipMode}},
+      {3, {kShipMode, kShipInstruct}},
+      {4, {kOrderKey}},
+      {5, {kShipDate}},
+      {6, {kPartKey}},
+      {7, {kSuppKey, kShipMode}},
+      {8, {kShipDate, kShipMode}},
+      {9, {kPartKey, kSuppKey}},
+      {10, {kOrderKey, kLineNumber}},
+      {11, {kOrderKey, kPartKey}},
+      {12, {kSuppKey, kPartKey, kShipDate}},
+      {13, {kSuppKey, kPartKey, kOrderKey}},
+  };
+  return *groupings;
+}
+
+GroupingQuery BuildGroupingQuery(const Grouping &grouping, bool wide) {
+  GroupingQuery query;
+  query.projection = grouping.columns;
+  for (idx_t i = 0; i < grouping.columns.size(); i++) {
+    query.group_columns.push_back(i);
+  }
+  if (wide) {
+    for (idx_t c = 0; c < kColumnCount; c++) {
+      bool is_group = false;
+      for (idx_t g : grouping.columns) {
+        if (g == c) {
+          is_group = true;
+          break;
+        }
+      }
+      if (!is_group) {
+        query.aggregates.push_back(
+            {AggregateKind::kAnyValue, query.projection.size()});
+        query.projection.push_back(c);
+      }
+    }
+  }
+  // The thin variant selects only the group columns (a pure DISTINCT-style
+  // aggregation), exactly like the paper's benchmark.
+  return query;
+}
+
+}  // namespace tpch
+}  // namespace ssagg

@@ -1,0 +1,101 @@
+#ifndef SSAGG_TPCH_LINEITEM_H_
+#define SSAGG_TPCH_LINEITEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "common/vector.h"
+#include "core/aggregate_function.h"
+#include "execution/range_source.h"
+
+namespace ssagg {
+namespace tpch {
+
+/// Column indices of the lineitem table (TPC-H order).
+enum LineitemColumn : idx_t {
+  kOrderKey = 0,    // INT64, ~rows/4 distinct, sparse TPC-H key pattern
+  kPartKey,         // INT64, 2,000 x SF distinct (mini scale)
+  kSuppKey,         // INT64, 100 x SF distinct
+  kLineNumber,      // INT32, 1..4
+  kQuantity,        // INT32, 1..50
+  kExtendedPrice,   // DOUBLE
+  kDiscount,        // DOUBLE, 0.00..0.10
+  kTax,             // DOUBLE, 0.00..0.08
+  kReturnFlag,      // VARCHAR, {A, N, R}
+  kLineStatus,      // VARCHAR, {O, F} (4 observed flag/status combos)
+  kShipDate,        // DATE, ~2,526 distinct days
+  kCommitDate,      // DATE
+  kReceiptDate,     // DATE
+  kShipInstruct,    // VARCHAR, 4 values
+  kShipMode,        // VARCHAR, 7 values
+  kComment,         // VARCHAR, high-cardinality free text (heap pressure)
+  kColumnCount,
+};
+
+/// Schema (name + type) of the lineitem table.
+const Schema &LineitemSchema();
+
+/// Deterministic, stateless TPC-H-style lineitem generator at "mini" scale:
+/// one scale-factor unit is 60,012 rows (1/100 of the 6,001,215 rows of
+/// TPC-H SF 1), with key cardinalities scaled the same way, so each
+/// grouping's unique-group count scales like the paper's benchmark
+/// (DESIGN.md Section 3, "Substitutions"). Any row can be materialized from
+/// its row number alone, which makes morsel-parallel scans trivial.
+class LineitemGenerator {
+ public:
+  explicit LineitemGenerator(double scale_factor);
+
+  double scale_factor() const { return scale_factor_; }
+  idx_t RowCount() const { return row_count_; }
+  idx_t PartKeyCount() const { return part_count_; }
+  idx_t SuppKeyCount() const { return supp_count_; }
+
+  /// Materializes rows [start, start + count) of the given columns.
+  /// `columns` indexes LineitemColumn; the chunk must have matching types.
+  Status FillChunk(DataChunk &chunk, const std::vector<idx_t> &columns,
+                   idx_t start, idx_t count) const;
+
+  /// A morsel-parallel source producing only the given columns (models a
+  /// columnar scan with projection pushdown).
+  std::unique_ptr<RangeSource> MakeSource(std::vector<idx_t> columns) const;
+
+  static std::vector<LogicalTypeId> ColumnTypes(
+      const std::vector<idx_t> &columns);
+
+ private:
+  double scale_factor_;
+  idx_t row_count_;
+  idx_t part_count_;
+  idx_t supp_count_;
+};
+
+/// One row of Table I: a grouping of lineitem columns. The thin variant
+/// selects only the group columns; the wide variant additionally selects
+/// every other column through ANY_VALUE.
+struct Grouping {
+  int id;
+  std::vector<idx_t> columns;  // LineitemColumn indices
+  std::string Name() const;
+};
+
+/// The 13 groupings of the paper's Table I, ordered from very low
+/// cardinality (returnflag/linestatus: 4 groups) to all-unique
+/// (suppkey/partkey/orderkey). Groupings 4 (l_orderkey) and 13 match the
+/// columns the paper names explicitly.
+const std::vector<Grouping> &TableIGroupings();
+
+/// Builds the projected column list and query pieces for a grouping.
+/// Projection = group columns first, then (wide only) all other columns.
+struct GroupingQuery {
+  std::vector<idx_t> projection;       // lineitem columns to scan
+  std::vector<idx_t> group_columns;    // indices into the projected chunk
+  std::vector<AggregateRequest> aggregates;
+};
+GroupingQuery BuildGroupingQuery(const Grouping &grouping, bool wide);
+
+}  // namespace tpch
+}  // namespace ssagg
+
+#endif  // SSAGG_TPCH_LINEITEM_H_

@@ -1,0 +1,453 @@
+#include "core/grouped_aggregate_hash_table.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/file_system.h"
+#include "common/random.h"
+
+namespace ssagg {
+namespace {
+
+class AggregateHashTableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    temp_dir_ = ::testing::TempDir() + "ssagg_ht_test";
+    (void)FileSystem::CreateDirectories(temp_dir_);
+  }
+  std::string temp_dir_;
+};
+
+// Input chunk: [int64 key, double value, varchar name]
+std::vector<LogicalTypeId> InputTypes() {
+  return {LogicalTypeId::kInt64, LogicalTypeId::kDouble,
+          LogicalTypeId::kVarchar};
+}
+
+void FillInput(DataChunk &chunk, const std::vector<int64_t> &keys,
+               const std::vector<double> &values) {
+  for (idx_t i = 0; i < keys.size(); i++) {
+    chunk.column(0).SetValue<int64_t>(i, keys[i]);
+    chunk.column(1).SetValue<double>(i, values[i]);
+    chunk.column(2).SetString(
+        i, "name_" + std::to_string(keys[i]) + "_with_long_tail_suffix");
+  }
+  chunk.SetCount(keys.size());
+}
+
+GroupedAggregateHashTable::Config SmallConfig() {
+  GroupedAggregateHashTable::Config config;
+  config.capacity = 1024;
+  config.radix_bits = 2;
+  return config;
+}
+
+TEST_F(AggregateHashTableTest, BasicSumCount) {
+  BufferManager bm(temp_dir_, 256 * kPageSize);
+  auto ht_res = GroupedAggregateHashTable::Create(
+      bm, InputTypes(), {0},
+      {{AggregateKind::kSum, 1}, {AggregateKind::kCountStar, kInvalidIndex}},
+      SmallConfig());
+  ASSERT_TRUE(ht_res.ok()) << ht_res.status().ToString();
+  auto ht = ht_res.MoveValue();
+
+  DataChunk input(InputTypes());
+  FillInput(input, {1, 2, 1, 3, 2, 1}, {1.0, 2.0, 3.0, 4.0, 5.0, 6.0});
+  ASSERT_TRUE(ht->AddChunk(input).ok());
+  EXPECT_EQ(ht->Count(), 3u);
+  EXPECT_EQ(ht->data().Count(), 3u);
+
+  // Gather results: scan the partitions, finalize.
+  std::map<int64_t, std::pair<double, int64_t>> results;
+  DataChunk layout_chunk(ht->layout().Types());
+  DataChunk out(ht->OutputTypes());
+  std::vector<data_ptr_t> ptrs(kVectorSize);
+  for (idx_t p = 0; p < ht->data().PartitionCount(); p++) {
+    TupleDataScanState scan;
+    ht->data().partition(p).InitScan(scan);
+    while (true) {
+      auto more = ht->data().partition(p).Scan(scan, layout_chunk,
+                                               ptrs.data());
+      ASSERT_TRUE(more.ok());
+      if (!more.value()) {
+        break;
+      }
+      ht->FinalizeChunk(layout_chunk, ptrs.data(), out);
+      for (idx_t i = 0; i < out.size(); i++) {
+        results[out.column(0).GetValue<int64_t>(i)] = {
+            out.column(1).GetValue<double>(i),
+            out.column(2).GetValue<int64_t>(i)};
+      }
+    }
+  }
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_DOUBLE_EQ(results[1].first, 10.0);
+  EXPECT_EQ(results[1].second, 3);
+  EXPECT_DOUBLE_EQ(results[2].first, 7.0);
+  EXPECT_EQ(results[2].second, 2);
+  EXPECT_DOUBLE_EQ(results[3].first, 4.0);
+  EXPECT_EQ(results[3].second, 1);
+}
+
+TEST_F(AggregateHashTableTest, StickyAnyValueStrings) {
+  BufferManager bm(temp_dir_, 256 * kPageSize);
+  auto ht = GroupedAggregateHashTable::Create(
+                bm, InputTypes(), {0}, {{AggregateKind::kAnyValue, 2}},
+                SmallConfig())
+                .MoveValue();
+  DataChunk input(InputTypes());
+  FillInput(input, {7, 7, 8}, {0, 0, 0});
+  ASSERT_TRUE(ht->AddChunk(input).ok());
+  EXPECT_EQ(ht->Count(), 2u);
+  // ANY_VALUE is a layout column: appended rows carry the string payload.
+  EXPECT_EQ(ht->layout().ColumnCount(), 3u);  // key, hash, name
+
+  DataChunk layout_chunk(ht->layout().Types());
+  DataChunk out(ht->OutputTypes());
+  std::vector<data_ptr_t> ptrs(kVectorSize);
+  std::map<int64_t, std::string> names;
+  for (idx_t p = 0; p < ht->data().PartitionCount(); p++) {
+    TupleDataScanState scan;
+    ht->data().partition(p).InitScan(scan);
+    while (true) {
+      auto more =
+          ht->data().partition(p).Scan(scan, layout_chunk, ptrs.data());
+      ASSERT_TRUE(more.ok());
+      if (!more.value()) {
+        break;
+      }
+      ht->FinalizeChunk(layout_chunk, ptrs.data(), out);
+      for (idx_t i = 0; i < out.size(); i++) {
+        names[out.column(0).GetValue<int64_t>(i)] =
+            out.column(1).GetString(i).ToString();
+      }
+    }
+  }
+  EXPECT_EQ(names[7], "name_7_with_long_tail_suffix");
+  EXPECT_EQ(names[8], "name_8_with_long_tail_suffix");
+}
+
+TEST_F(AggregateHashTableTest, GroupByStringKeys) {
+  BufferManager bm(temp_dir_, 256 * kPageSize);
+  auto ht = GroupedAggregateHashTable::Create(
+                bm, InputTypes(), {2},
+                {{AggregateKind::kCountStar, kInvalidIndex}}, SmallConfig())
+                .MoveValue();
+  DataChunk input(InputTypes());
+  // Keys 10,11,10 produce names name_10..., name_11..., name_10...
+  FillInput(input, {10, 11, 10}, {0, 0, 0});
+  ASSERT_TRUE(ht->AddChunk(input).ok());
+  EXPECT_EQ(ht->Count(), 2u);
+}
+
+TEST_F(AggregateHashTableTest, NullGroupsFormOneGroup) {
+  BufferManager bm(temp_dir_, 256 * kPageSize);
+  auto ht = GroupedAggregateHashTable::Create(
+                bm, InputTypes(), {0},
+                {{AggregateKind::kCountStar, kInvalidIndex}}, SmallConfig())
+                .MoveValue();
+  DataChunk input(InputTypes());
+  FillInput(input, {1, 2, 3, 4}, {0, 0, 0, 0});
+  input.column(0).validity().SetInvalid(1);
+  input.column(0).validity().SetInvalid(3);
+  ASSERT_TRUE(ht->AddChunk(input).ok());
+  EXPECT_EQ(ht->Count(), 3u);  // {1}, {3}, {NULL}
+}
+
+TEST_F(AggregateHashTableTest, SumSkipsNullInputs) {
+  BufferManager bm(temp_dir_, 256 * kPageSize);
+  auto ht = GroupedAggregateHashTable::Create(
+                bm, InputTypes(), {0}, {{AggregateKind::kSum, 1}},
+                SmallConfig())
+                .MoveValue();
+  DataChunk input(InputTypes());
+  FillInput(input, {1, 1, 1}, {5.0, 7.0, 100.0});
+  input.column(1).validity().SetInvalid(2);
+  ASSERT_TRUE(ht->AddChunk(input).ok());
+  DataChunk layout_chunk(ht->layout().Types());
+  DataChunk out(ht->OutputTypes());
+  std::vector<data_ptr_t> ptrs(kVectorSize);
+  for (idx_t p = 0; p < ht->data().PartitionCount(); p++) {
+    TupleDataScanState scan;
+    ht->data().partition(p).InitScan(scan);
+    while (true) {
+      auto more =
+          ht->data().partition(p).Scan(scan, layout_chunk, ptrs.data());
+      ASSERT_TRUE(more.ok());
+      if (!more.value()) {
+        break;
+      }
+      ht->FinalizeChunk(layout_chunk, ptrs.data(), out);
+      ASSERT_EQ(out.size(), 1u);
+      EXPECT_DOUBLE_EQ(out.column(1).GetValue<double>(0), 12.0);
+    }
+  }
+}
+
+TEST_F(AggregateHashTableTest, ResetKeepsTuplesAndDedupsPerRun) {
+  BufferManager bm(temp_dir_, 256 * kPageSize);
+  auto config = SmallConfig();
+  config.capacity = 256;
+  auto ht = GroupedAggregateHashTable::Create(
+                bm, InputTypes(), {0},
+                {{AggregateKind::kCountStar, kInvalidIndex}}, config)
+                .MoveValue();
+  DataChunk input(InputTypes());
+  // Insert the same 100 keys, reset, insert again: the same group is
+  // materialized twice (the paper's duplicate-groups effect), but the
+  // pointer table only sees the current run.
+  std::vector<int64_t> keys(100);
+  std::vector<double> vals(100, 0.0);
+  for (int i = 0; i < 100; i++) {
+    keys[i] = i;
+  }
+  FillInput(input, keys, vals);
+  ASSERT_TRUE(ht->AddChunk(input).ok());
+  EXPECT_EQ(ht->Count(), 100u);
+  ht->ClearPointerTable();
+  EXPECT_EQ(ht->Count(), 0u);
+  EXPECT_EQ(ht->data().Count(), 100u);  // tuples stay in place
+  ASSERT_TRUE(ht->AddChunk(input).ok());
+  EXPECT_EQ(ht->Count(), 100u);
+  EXPECT_EQ(ht->data().Count(), 200u);  // duplicated groups across runs
+  EXPECT_EQ(ht->stats().resets, 1u);
+}
+
+TEST_F(AggregateHashTableTest, NeedsResetAtTwoThirds) {
+  BufferManager bm(temp_dir_, 256 * kPageSize);
+  auto config = SmallConfig();
+  config.capacity = 256;
+  auto ht = GroupedAggregateHashTable::Create(
+                bm, InputTypes(), {0},
+                {{AggregateKind::kCountStar, kInvalidIndex}}, config)
+                .MoveValue();
+  DataChunk input(InputTypes());
+  std::vector<int64_t> keys;
+  std::vector<double> vals;
+  for (int i = 0; i < 180; i++) {
+    keys.push_back(i);
+    vals.push_back(0);
+  }
+  FillInput(input, keys, vals);
+  ASSERT_TRUE(ht->AddChunk(input).ok());
+  // The reset threshold (256 * 2/3 ~ 170) was crossed inside the chunk, so
+  // the table reset itself mid-chunk; all 180 groups were still
+  // materialized exactly once.
+  EXPECT_EQ(ht->stats().resets, 1u);
+  EXPECT_EQ(ht->Count(), 10u);
+  EXPECT_EQ(ht->data().Count(), 180u);
+  // Below the threshold it must not trigger.
+  auto ht2 = GroupedAggregateHashTable::Create(
+                 bm, InputTypes(), {0},
+                 {{AggregateKind::kCountStar, kInvalidIndex}}, config)
+                 .MoveValue();
+  keys.resize(100);
+  vals.resize(100);
+  FillInput(input, keys, vals);
+  ASSERT_TRUE(ht2->AddChunk(input).ok());
+  EXPECT_FALSE(ht2->NeedsReset());
+}
+
+TEST_F(AggregateHashTableTest, ResizableTableGrows) {
+  BufferManager bm(temp_dir_, 256 * kPageSize);
+  auto config = SmallConfig();
+  config.capacity = 64;
+  config.resizable = true;
+  auto ht = GroupedAggregateHashTable::Create(
+                bm, InputTypes(), {0},
+                {{AggregateKind::kCountStar, kInvalidIndex}}, config)
+                .MoveValue();
+  DataChunk input(InputTypes());
+  constexpr idx_t kGroups = 2000;
+  for (idx_t start = 0; start < kGroups; start += kVectorSize) {
+    idx_t n = std::min(kVectorSize, kGroups - start);
+    std::vector<int64_t> keys(n);
+    std::vector<double> vals(n, 0);
+    for (idx_t i = 0; i < n; i++) {
+      keys[i] = static_cast<int64_t>(start + i);
+    }
+    FillInput(input, keys, vals);
+    ASSERT_TRUE(ht->AddChunk(input).ok());
+  }
+  EXPECT_EQ(ht->Count(), kGroups);
+  EXPECT_GT(ht->stats().resizes, 3u);
+  EXPECT_GE(ht->Capacity(), kGroups);
+  // After growth, lookups still find the same groups (no duplicates).
+  EXPECT_EQ(ht->data().Count(), kGroups);
+}
+
+TEST_F(AggregateHashTableTest, SaltAvoidsKeyComparisons) {
+  BufferManager bm(temp_dir_, 512 * kPageSize);
+  // Fill a table close to its reset threshold and measure wasted compares
+  // with and without the salt.
+  auto run = [&](bool use_salt) {
+    auto config = SmallConfig();
+    config.capacity = 4096;
+    config.use_salt = use_salt;
+    auto ht = GroupedAggregateHashTable::Create(
+                  bm, InputTypes(), {0},
+                  {{AggregateKind::kCountStar, kInvalidIndex}}, config)
+                  .MoveValue();
+    DataChunk input(InputTypes());
+    RandomEngine rng(7);
+    for (int c = 0; c < 8; c++) {
+      std::vector<int64_t> keys(256);
+      std::vector<double> vals(256, 0);
+      for (auto &k : keys) {
+        k = static_cast<int64_t>(rng.NextRange(2500));
+      }
+      FillInput(input, keys, vals);
+      EXPECT_TRUE(ht->AddChunk(input).ok());
+    }
+    return ht->stats();
+  };
+  auto with_salt = run(true);
+  auto without_salt = run(false);
+  // Same probe work, far fewer wasted key comparisons with the salt.
+  EXPECT_LT(with_salt.key_compare_misses * 10, without_salt.key_compare_misses +
+                                                   10);
+}
+
+TEST_F(AggregateHashTableTest, CombineSourceChunkMergesStates) {
+  BufferManager bm(temp_dir_, 512 * kPageSize);
+  auto make_ht = [&](bool resizable) {
+    auto config = SmallConfig();
+    config.capacity = 1024;
+    config.resizable = resizable;
+    return GroupedAggregateHashTable::Create(
+               bm, InputTypes(), {0},
+               {{AggregateKind::kSum, 1},
+                {AggregateKind::kCountStar, kInvalidIndex}},
+               config)
+        .MoveValue();
+  };
+  auto src1 = make_ht(false);
+  auto src2 = make_ht(false);
+  DataChunk input(InputTypes());
+  FillInput(input, {1, 2, 3}, {1.0, 2.0, 3.0});
+  ASSERT_TRUE(src1->AddChunk(input).ok());
+  FillInput(input, {2, 3, 4}, {20.0, 30.0, 40.0});
+  ASSERT_TRUE(src2->AddChunk(input).ok());
+
+  // Phase 2: merge both sources into a target, per partition.
+  auto target = make_ht(true);
+  DataChunk layout_chunk(src1->layout().Types());
+  std::vector<data_ptr_t> ptrs(kVectorSize);
+  for (auto *src : {src1.get(), src2.get()}) {
+    for (idx_t p = 0; p < src->data().PartitionCount(); p++) {
+      TupleDataScanState scan;
+      src->data().partition(p).InitScan(scan);
+      while (true) {
+        auto more =
+            src->data().partition(p).Scan(scan, layout_chunk, ptrs.data());
+        ASSERT_TRUE(more.ok());
+        if (!more.value()) {
+          break;
+        }
+        ASSERT_TRUE(
+            target->CombineSourceChunk(layout_chunk, ptrs.data()).ok());
+      }
+    }
+  }
+  EXPECT_EQ(target->Count(), 4u);
+
+  std::map<int64_t, std::pair<double, int64_t>> results;
+  DataChunk out(target->OutputTypes());
+  for (idx_t p = 0; p < target->data().PartitionCount(); p++) {
+    TupleDataScanState scan;
+    target->data().partition(p).InitScan(scan);
+    while (true) {
+      auto more =
+          target->data().partition(p).Scan(scan, layout_chunk, ptrs.data());
+      ASSERT_TRUE(more.ok());
+      if (!more.value()) {
+        break;
+      }
+      target->FinalizeChunk(layout_chunk, ptrs.data(), out);
+      for (idx_t i = 0; i < out.size(); i++) {
+        results[out.column(0).GetValue<int64_t>(i)] = {
+            out.column(1).GetValue<double>(i),
+            out.column(2).GetValue<int64_t>(i)};
+      }
+    }
+  }
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_DOUBLE_EQ(results[1].first, 1.0);
+  EXPECT_DOUBLE_EQ(results[2].first, 22.0);
+  EXPECT_DOUBLE_EQ(results[3].first, 33.0);
+  EXPECT_DOUBLE_EQ(results[4].first, 40.0);
+  EXPECT_EQ(results[2].second, 2);
+}
+
+TEST_F(AggregateHashTableTest, LargeRandomAggregationMatchesReference) {
+  BufferManager bm(temp_dir_, 1024 * kPageSize);
+  auto config = SmallConfig();
+  config.capacity = 4096;
+  config.radix_bits = 3;
+  auto ht = GroupedAggregateHashTable::Create(
+                bm, InputTypes(), {0},
+                {{AggregateKind::kSum, 1},
+                 {AggregateKind::kMin, 1},
+                 {AggregateKind::kMax, 1},
+                 {AggregateKind::kCountStar, kInvalidIndex}},
+                config)
+                .MoveValue();
+  RandomEngine rng(123);
+  std::map<int64_t, std::tuple<double, double, double, int64_t>> reference;
+  DataChunk input(InputTypes());
+  constexpr int kChunks = 20;
+  for (int c = 0; c < kChunks; c++) {
+    std::vector<int64_t> keys(kVectorSize);
+    std::vector<double> vals(kVectorSize);
+    for (idx_t i = 0; i < kVectorSize; i++) {
+      keys[i] = static_cast<int64_t>(rng.NextRange(500));
+      vals[i] = static_cast<double>(rng.NextRange(1000));
+      auto it = reference.find(keys[i]);
+      if (it == reference.end()) {
+        reference[keys[i]] = {vals[i], vals[i], vals[i], 1};
+      } else {
+        std::get<0>(it->second) += vals[i];
+        std::get<1>(it->second) = std::min(std::get<1>(it->second), vals[i]);
+        std::get<2>(it->second) = std::max(std::get<2>(it->second), vals[i]);
+        std::get<3>(it->second)++;
+      }
+    }
+    FillInput(input, keys, vals);
+    ASSERT_TRUE(ht->AddChunk(input).ok());
+    // No reset: capacity comfortably holds 500 groups.
+  }
+  EXPECT_EQ(ht->Count(), reference.size());
+
+  DataChunk layout_chunk(ht->layout().Types());
+  DataChunk out(ht->OutputTypes());
+  std::vector<data_ptr_t> ptrs(kVectorSize);
+  idx_t seen = 0;
+  for (idx_t p = 0; p < ht->data().PartitionCount(); p++) {
+    TupleDataScanState scan;
+    ht->data().partition(p).InitScan(scan);
+    while (true) {
+      auto more =
+          ht->data().partition(p).Scan(scan, layout_chunk, ptrs.data());
+      ASSERT_TRUE(more.ok());
+      if (!more.value()) {
+        break;
+      }
+      ht->FinalizeChunk(layout_chunk, ptrs.data(), out);
+      for (idx_t i = 0; i < out.size(); i++) {
+        int64_t key = out.column(0).GetValue<int64_t>(i);
+        auto &ref = reference.at(key);
+        EXPECT_DOUBLE_EQ(out.column(1).GetValue<double>(i), std::get<0>(ref));
+        EXPECT_DOUBLE_EQ(out.column(2).GetValue<double>(i), std::get<1>(ref));
+        EXPECT_DOUBLE_EQ(out.column(3).GetValue<double>(i), std::get<2>(ref));
+        EXPECT_EQ(out.column(4).GetValue<int64_t>(i), std::get<3>(ref));
+        seen++;
+      }
+    }
+  }
+  EXPECT_EQ(seen, reference.size());
+}
+
+}  // namespace
+}  // namespace ssagg

@@ -1,0 +1,181 @@
+// Property-based sweep: for random workloads, the robust aggregation, the
+// in-memory model, the sort-based aggregation, and the partition-spilling
+// model must all produce EXACTLY the same groups and aggregates as a
+// std::map reference — for every combination of thread count, radix bits,
+// phase-1 capacity, and memory limit in the sweep (including limits that
+// force spilling).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "ssagg/ssagg.h"
+
+namespace ssagg {
+namespace {
+
+struct SweepParams {
+  idx_t threads;
+  idx_t radix_bits;
+  idx_t phase1_capacity;
+  idx_t memory_limit_pages;  // 0 = ample
+  uint64_t seed;
+};
+
+std::string ParamName(const ::testing::TestParamInfo<SweepParams> &info) {
+  const auto &p = info.param;
+  return "t" + std::to_string(p.threads) + "_r" +
+         std::to_string(p.radix_bits) + "_c" +
+         std::to_string(p.phase1_capacity) + "_m" +
+         std::to_string(p.memory_limit_pages) + "_s" +
+         std::to_string(p.seed);
+}
+
+class AggregationPropertyTest : public ::testing::TestWithParam<SweepParams> {
+ protected:
+  void SetUp() override {
+    temp_dir_ = ::testing::TempDir() + "ssagg_prop";
+    (void)FileSystem::CreateDirectories(temp_dir_);
+  }
+  std::string temp_dir_;
+};
+
+struct Reference {
+  std::map<std::pair<int64_t, std::string>, std::pair<int64_t, int64_t>>
+      groups;  // (key, tag) -> (sum, count)
+};
+
+constexpr idx_t kRows = 120000;
+
+RangeSource MakeWorkload(uint64_t seed, idx_t key_domain) {
+  std::vector<LogicalTypeId> types = {LogicalTypeId::kInt64,
+                                      LogicalTypeId::kVarchar,
+                                      LogicalTypeId::kInt64};
+  return RangeSource(
+      types, kRows, [seed, key_domain](DataChunk &chunk, idx_t start,
+                                       idx_t count) {
+        for (idx_t i = 0; i < count; i++) {
+          idx_t row = start + i;
+          uint64_t r = HashUint64(row * 2 + seed);
+          chunk.column(0).SetValue<int64_t>(
+              i, static_cast<int64_t>(r % key_domain));
+          chunk.column(1).SetString(
+              i, (r >> 16) % 3 == 0
+                     ? "t" + std::to_string((r >> 24) % 2)
+                     : "longer_tag_value_" + std::to_string((r >> 24) % 3));
+          chunk.column(2).SetValue<int64_t>(
+              i, static_cast<int64_t>(row % 1000));
+        }
+        return Status::OK();
+      });
+}
+
+Reference BuildReference(uint64_t seed, idx_t key_domain) {
+  Reference ref;
+  auto source = MakeWorkload(seed, key_domain);
+  DataChunk chunk(source.Types());
+  auto state = source.InitLocal().MoveValue();
+  while (true) {
+    chunk.Reset();
+    auto more = source.GetData(chunk, *state);
+    EXPECT_TRUE(more.ok());
+    if (!more.value()) {
+      break;
+    }
+    for (idx_t i = 0; i < chunk.size(); i++) {
+      auto key = std::make_pair(chunk.column(0).GetValue<int64_t>(i),
+                                chunk.column(1).GetString(i).ToString());
+      auto &entry = ref.groups[key];
+      entry.first += chunk.column(2).GetValue<int64_t>(i);
+      entry.second++;
+    }
+  }
+  return ref;
+}
+
+void CheckAgainstReference(const MaterializedCollector &collector,
+                           const Reference &ref) {
+  ASSERT_EQ(collector.RowCount(), ref.groups.size());
+  for (const auto &row : collector.rows()) {
+    auto key = std::make_pair(row[0].GetInt64(), row[1].GetString());
+    auto it = ref.groups.find(key);
+    ASSERT_NE(it, ref.groups.end())
+        << "unexpected group (" << key.first << ", " << key.second << ")";
+    EXPECT_EQ(row[2].GetInt64(), it->second.first) << "sum mismatch";
+    EXPECT_EQ(row[3].GetInt64(), it->second.second) << "count mismatch";
+  }
+}
+
+TEST_P(AggregationPropertyTest, AllSystemsMatchReference) {
+  const auto &p = GetParam();
+  idx_t key_domain = 40000;  // ~40k x ~3 tags of groups
+  Reference ref = BuildReference(p.seed, key_domain);
+  std::vector<idx_t> group_columns = {0, 1};
+  std::vector<AggregateRequest> aggregates = {
+      {AggregateKind::kSum, 2}, {AggregateKind::kCountStar, kInvalidIndex}};
+
+  idx_t limit = p.memory_limit_pages == 0 ? 4096 * kPageSize
+                                          : p.memory_limit_pages * kPageSize;
+  TaskExecutor executor(p.threads);
+
+  {  // robust
+    BufferManager bm(temp_dir_, limit);
+    auto source = MakeWorkload(p.seed, key_domain);
+    MaterializedCollector collector;
+    HashAggregateConfig config;
+    config.phase1_capacity = p.phase1_capacity;
+    config.radix_bits = p.radix_bits;
+    auto stats = RunGroupedAggregation(bm, source, group_columns, aggregates,
+                                       collector, executor, config);
+    ASSERT_TRUE(stats.ok()) << "robust: " << stats.status().ToString();
+    CheckAgainstReference(collector, ref);
+    EXPECT_EQ(bm.memory_used(), 0u) << "robust leaked memory accounting";
+  }
+  {  // external sort baseline
+    BufferManager bm(temp_dir_, limit);
+    auto source = MakeWorkload(p.seed, key_domain);
+    MaterializedCollector collector;
+    ExternalSortAggregate::Config config;
+    config.temp_directory = temp_dir_;
+    config.run_memory_bytes = 2ULL << 20;
+    auto agg = ExternalSortAggregate::Create(bm, source.Types(),
+                                             group_columns, aggregates,
+                                             config)
+                   .MoveValue();
+    ASSERT_TRUE(executor.RunPipeline(source, *agg).ok());
+    ASSERT_TRUE(agg->EmitResults(collector, executor).ok());
+    CheckAgainstReference(collector, ref);
+  }
+  {  // partition-spilling model
+    BufferManager bm(temp_dir_, limit);
+    auto source = MakeWorkload(p.seed, key_domain);
+    MaterializedCollector collector;
+    TwoLevelSpillAggregate::Config config;
+    config.temp_directory = temp_dir_;
+    config.radix_bits = p.radix_bits == 0 ? 1 : p.radix_bits;
+    config.spill_threshold_ratio = 0.6;
+    Status st = RunSpillPartitionAggregation(bm, source, group_columns,
+                                             aggregates, collector, executor,
+                                             config, nullptr);
+    ASSERT_TRUE(st.ok()) << "spill model: " << st.ToString();
+    CheckAgainstReference(collector, ref);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AggregationPropertyTest,
+    ::testing::Values(
+        // ample memory, varying parallelism and partitioning
+        SweepParams{1, 0, 4096, 0, 1},
+        SweepParams{2, 3, 4096, 0, 2},
+        SweepParams{4, 5, 1024, 0, 3},
+        SweepParams{3, 1, 16384, 0, 4},
+        // tight memory: forces spilling through the buffer manager
+        SweepParams{2, 4, 1024, 140, 5},
+        SweepParams{4, 4, 2048, 180, 6},
+        SweepParams{1, 3, 8192, 120, 7}),
+    ParamName);
+
+}  // namespace
+}  // namespace ssagg

@@ -1,0 +1,148 @@
+// Edge cases and invariants of the unified buffer manager beyond the basic
+// behaviours of buffer_manager_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "buffer/buffer_manager.h"
+#include "common/file_system.h"
+
+namespace ssagg {
+namespace {
+
+class BufferManagerEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    temp_dir_ = ::testing::TempDir() + "ssagg_bm_edge";
+    (void)FileSystem::CreateDirectories(temp_dir_);
+  }
+  std::string temp_dir_;
+};
+
+TEST_F(BufferManagerEdgeTest, RaisingTheLimitUnblocksAllocations) {
+  BufferManager bm(temp_dir_, kPageSize);
+  std::shared_ptr<BlockHandle> a, b;
+  auto ha = bm.Allocate(kPageSize, &a).MoveValue();
+  EXPECT_FALSE(bm.Allocate(kPageSize, &b).ok());  // pinned page, full pool
+  bm.SetMemoryLimit(2 * kPageSize);
+  EXPECT_TRUE(bm.Allocate(kPageSize, &b).ok());
+}
+
+TEST_F(BufferManagerEdgeTest, LoweringTheLimitEvictsLazily) {
+  BufferManager bm(temp_dir_, 8 * kPageSize);
+  std::vector<std::shared_ptr<BlockHandle>> blocks(8);
+  for (auto &block : blocks) {
+    auto h = bm.Allocate(kPageSize, &block).MoveValue();
+  }
+  EXPECT_EQ(bm.memory_used(), 8 * kPageSize);
+  bm.SetMemoryLimit(2 * kPageSize);
+  // No proactive eviction...
+  EXPECT_EQ(bm.memory_used(), 8 * kPageSize);
+  // ...but the next reservation drives usage down under the new limit.
+  std::shared_ptr<BlockHandle> extra;
+  auto h = bm.Allocate(kPageSize, &extra).MoveValue();
+  EXPECT_LE(bm.memory_used(), 2 * kPageSize);
+}
+
+TEST_F(BufferManagerEdgeTest, SpillTemporaryOffStillEvictsPersistent) {
+  auto block_mgr =
+      FileBlockManager::Create(temp_dir_ + "/edge.db").MoveValue();
+  FileBuffer buf(kPageSize);
+  std::vector<block_id_t> ids;
+  for (int i = 0; i < 3; i++) {
+    block_id_t id = block_mgr->AllocateBlock();
+    std::memset(buf.data(), i, kPageSize);
+    ASSERT_TRUE(block_mgr->WriteBlock(id, buf).ok());
+    ids.push_back(id);
+  }
+  BufferManager bm(temp_dir_, 3 * kPageSize);
+  bm.SetSpillTemporary(false);
+  // One unpinned temporary page + persistent pages filling the rest.
+  std::shared_ptr<BlockHandle> temp;
+  { auto h = bm.Allocate(kPageSize, &temp).MoveValue(); }
+  std::vector<std::shared_ptr<BlockHandle>> handles;
+  for (auto id : ids) {
+    handles.push_back(bm.RegisterPersistentBlock(*block_mgr, id));
+    auto pin = bm.Pin(handles.back());
+    ASSERT_TRUE(pin.ok()) << pin.status().ToString();
+  }
+  auto snap = bm.Snapshot();
+  EXPECT_GE(snap.evicted_persistent_count, 1u);
+  EXPECT_EQ(snap.temp_writes, 0u);  // the temporary page never spilled
+  // The temporary page is still resident and intact.
+  EXPECT_TRUE(bm.Pin(temp).ok());
+}
+
+TEST_F(BufferManagerEdgeTest, PolicySwitchRedistributesQueuedPages) {
+  BufferManager bm(temp_dir_, 4 * kPageSize, EvictionPolicy::kMixed);
+  std::vector<std::shared_ptr<BlockHandle>> blocks(4);
+  for (auto &block : blocks) {
+    auto h = bm.Allocate(kPageSize, &block).MoveValue();
+  }
+  // Switch policies while pages sit in the queue; eviction must still work.
+  bm.SetEvictionPolicy(EvictionPolicy::kTemporaryFirst);
+  std::shared_ptr<BlockHandle> extra;
+  ASSERT_TRUE(bm.Allocate(kPageSize, &extra).ok());
+  EXPECT_GE(bm.Snapshot().evicted_temporary_count, 1u);
+  bm.SetEvictionPolicy(EvictionPolicy::kPersistentFirst);
+  std::shared_ptr<BlockHandle> extra2;
+  ASSERT_TRUE(bm.Allocate(kPageSize, &extra2).ok());
+}
+
+TEST_F(BufferManagerEdgeTest, DoublePinSharesTheBuffer) {
+  BufferManager bm(temp_dir_, 4 * kPageSize);
+  std::shared_ptr<BlockHandle> block;
+  auto h1 = bm.Allocate(kPageSize, &block).MoveValue();
+  auto h2 = bm.Pin(block).MoveValue();
+  EXPECT_EQ(h1.Ptr(), h2.Ptr());
+  EXPECT_EQ(block->Readers(), 2);
+  h1.Reset();
+  EXPECT_EQ(block->Readers(), 1);
+  // Still resident and usable through the second pin.
+  h2.Ptr()[0] = 42;
+}
+
+TEST_F(BufferManagerEdgeTest, ZeroByteReservationsAreNoOps) {
+  BufferManager bm(temp_dir_, kPageSize);
+  EXPECT_TRUE(bm.ReserveExternalMemory(0).ok());
+  bm.FreeExternalMemory(0);
+  EXPECT_EQ(bm.memory_used(), 0u);
+}
+
+TEST_F(BufferManagerEdgeTest, ConcurrentNonPagedAndPagedPressure) {
+  BufferManager bm(temp_dir_, 16 * kPageSize);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; t++) {
+    threads.emplace_back([&bm, &failures]() {
+      for (int i = 0; i < 50; i++) {
+        if (i % 3 == 0) {
+          auto np = bm.AllocateNonPaged(kPageSize / 2);
+          if (!np.ok()) {
+            failures++;
+            return;
+          }
+        } else {
+          std::shared_ptr<BlockHandle> block;
+          auto res = bm.Allocate(kPageSize, &block);
+          if (!res.ok()) {
+            failures++;
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto &th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  // All handles dropped: accounting returns to zero.
+  EXPECT_EQ(bm.memory_used(), 0u);
+  EXPECT_EQ(bm.Snapshot().temp_file_size, 0u);
+}
+
+}  // namespace
+}  // namespace ssagg

@@ -1,0 +1,212 @@
+#include "core/physical_hash_join.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "ssagg/ssagg.h"
+
+namespace ssagg {
+namespace {
+
+class HashJoinTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    temp_dir_ = ::testing::TempDir() + "ssagg_join";
+    (void)FileSystem::CreateDirectories(temp_dir_);
+  }
+  idx_t Threads() const { return static_cast<idx_t>(GetParam()); }
+  std::string temp_dir_;
+};
+
+// Build side: dimension table (id, name). Probe side: fact table
+// (fk, amount).
+RangeSource MakeDim(idx_t rows) {
+  return RangeSource({LogicalTypeId::kInt64, LogicalTypeId::kVarchar}, rows,
+                     [](DataChunk &chunk, idx_t start, idx_t count) {
+                       for (idx_t i = 0; i < count; i++) {
+                         idx_t row = start + i;
+                         chunk.column(0).SetValue<int64_t>(
+                             i, static_cast<int64_t>(row));
+                         chunk.column(1).SetString(
+                             i, "dimension_name_" + std::to_string(row));
+                       }
+                       return Status::OK();
+                     });
+}
+
+RangeSource MakeFact(idx_t rows, idx_t fk_domain) {
+  return RangeSource({LogicalTypeId::kInt64, LogicalTypeId::kInt64}, rows,
+                     [fk_domain](DataChunk &chunk, idx_t start, idx_t count) {
+                       for (idx_t i = 0; i < count; i++) {
+                         idx_t row = start + i;
+                         chunk.column(0).SetValue<int64_t>(
+                             i, static_cast<int64_t>(HashUint64(row) %
+                                                     fk_domain));
+                         chunk.column(1).SetValue<int64_t>(
+                             i, static_cast<int64_t>(row));
+                       }
+                       return Status::OK();
+                     });
+}
+
+TEST_P(HashJoinTest, InnerJoinFactToDimension) {
+  BufferManager bm(temp_dir_, 1024 * kPageSize);
+  TaskExecutor executor(Threads());
+  constexpr idx_t kDim = 5000;
+  constexpr idx_t kFact = 100000;
+  auto join = PhysicalHashJoin::Create(
+                  bm,
+                  /*build=*/{LogicalTypeId::kInt64, LogicalTypeId::kVarchar},
+                  {0},
+                  /*probe=*/{LogicalTypeId::kInt64, LogicalTypeId::kInt64},
+                  {0})
+                  .MoveValue();
+  auto dim = MakeDim(kDim);
+  auto fact = MakeFact(kFact, kDim);  // every fact row matches exactly once
+  ASSERT_TRUE(executor.RunPipeline(dim, join->build_sink()).ok());
+  ASSERT_TRUE(executor.RunPipeline(fact, join->probe_sink()).ok());
+  EXPECT_EQ(join->BuildRowCount(), kDim);
+  EXPECT_EQ(join->ProbeRowCount(), kFact);
+  MaterializedCollector collector;
+  ASSERT_TRUE(join->EmitResults(collector, executor).ok());
+  ASSERT_EQ(collector.RowCount(), kFact);
+  // Output: [fk, amount, id, name]; check the join predicate and payloads.
+  std::set<int64_t> amounts;
+  for (const auto &row : collector.rows()) {
+    EXPECT_EQ(row[0].GetInt64(), row[2].GetInt64());
+    EXPECT_EQ(row[3].GetString(),
+              "dimension_name_" + std::to_string(row[2].GetInt64()));
+    amounts.insert(row[1].GetInt64());
+  }
+  EXPECT_EQ(amounts.size(), kFact);  // every fact row appears exactly once
+}
+
+TEST_P(HashJoinTest, DuplicateBuildKeysMultiplyMatches) {
+  BufferManager bm(temp_dir_, 1024 * kPageSize);
+  TaskExecutor executor(Threads());
+  // Build: keys 0..9, each appearing 3 times. Probe: keys 0..19 once each.
+  RangeSource build({LogicalTypeId::kInt64, LogicalTypeId::kInt64}, 30,
+                    [](DataChunk &chunk, idx_t start, idx_t count) {
+                      for (idx_t i = 0; i < count; i++) {
+                        chunk.column(0).SetValue<int64_t>(
+                            i, static_cast<int64_t>((start + i) % 10));
+                        chunk.column(1).SetValue<int64_t>(
+                            i, static_cast<int64_t>(start + i));
+                      }
+                      return Status::OK();
+                    });
+  RangeSource probe({LogicalTypeId::kInt64}, 20,
+                    [](DataChunk &chunk, idx_t start, idx_t count) {
+                      for (idx_t i = 0; i < count; i++) {
+                        chunk.column(0).SetValue<int64_t>(
+                            i, static_cast<int64_t>(start + i));
+                      }
+                      return Status::OK();
+                    });
+  auto join = PhysicalHashJoin::Create(
+                  bm, {LogicalTypeId::kInt64, LogicalTypeId::kInt64}, {0},
+                  {LogicalTypeId::kInt64}, {0})
+                  .MoveValue();
+  ASSERT_TRUE(executor.RunPipeline(build, join->build_sink()).ok());
+  ASSERT_TRUE(executor.RunPipeline(probe, join->probe_sink()).ok());
+  MaterializedCollector collector;
+  ASSERT_TRUE(join->EmitResults(collector, executor).ok());
+  // Probe keys 0..9 match 3 build rows each; keys 10..19 match none.
+  EXPECT_EQ(collector.RowCount(), 30u);
+  std::map<int64_t, int> matches;
+  for (const auto &row : collector.rows()) {
+    matches[row[0].GetInt64()]++;
+  }
+  for (int64_t k = 0; k < 10; k++) {
+    EXPECT_EQ(matches[k], 3) << "key " << k;
+  }
+  EXPECT_EQ(matches.count(15), 0u);
+}
+
+TEST_P(HashJoinTest, NullKeysNeverMatch) {
+  BufferManager bm(temp_dir_, 1024 * kPageSize);
+  TaskExecutor executor(1);
+  RangeSource build({LogicalTypeId::kInt64}, 4,
+                    [](DataChunk &chunk, idx_t start, idx_t count) {
+                      for (idx_t i = 0; i < count; i++) {
+                        chunk.column(0).SetValue<int64_t>(
+                            i, static_cast<int64_t>(start + i));
+                        if ((start + i) % 2 == 0) {
+                          chunk.column(0).validity().SetInvalid(i);
+                        }
+                      }
+                      return Status::OK();
+                    });
+  RangeSource probe({LogicalTypeId::kInt64}, 4,
+                    [](DataChunk &chunk, idx_t start, idx_t count) {
+                      for (idx_t i = 0; i < count; i++) {
+                        chunk.column(0).SetValue<int64_t>(
+                            i, static_cast<int64_t>(start + i));
+                        if ((start + i) % 2 == 0) {
+                          chunk.column(0).validity().SetInvalid(i);
+                        }
+                      }
+                      return Status::OK();
+                    });
+  auto join = PhysicalHashJoin::Create(bm, {LogicalTypeId::kInt64}, {0},
+                                       {LogicalTypeId::kInt64}, {0})
+                  .MoveValue();
+  ASSERT_TRUE(executor.RunPipeline(build, join->build_sink()).ok());
+  ASSERT_TRUE(executor.RunPipeline(probe, join->probe_sink()).ok());
+  MaterializedCollector collector;
+  ASSERT_TRUE(join->EmitResults(collector, executor).ok());
+  // Only the non-NULL keys 1 and 3 match (each once).
+  EXPECT_EQ(collector.RowCount(), 2u);
+}
+
+TEST_P(HashJoinTest, StringKeysAndLargerThanMemoryJoin) {
+  // Both sides exceed the pool: materialization spills, partitions reload,
+  // string keys survive via pointer recomputation. The limit respects the
+  // materialization pin floor (threads x partitions x 2 build pages).
+  BufferManager bm(temp_dir_, 224 * kPageSize);  // 56 MiB
+  TaskExecutor executor(Threads());
+  constexpr idx_t kDim = 400000;
+  constexpr idx_t kFact = 800000;
+  RangeSource build({LogicalTypeId::kVarchar, LogicalTypeId::kInt64}, kDim,
+                    [](DataChunk &chunk, idx_t start, idx_t count) {
+                      for (idx_t i = 0; i < count; i++) {
+                        idx_t row = start + i;
+                        chunk.column(0).SetString(
+                            i, "join_key_string_" + std::to_string(row));
+                        chunk.column(1).SetValue<int64_t>(
+                            i, static_cast<int64_t>(row * 2));
+                      }
+                      return Status::OK();
+                    });
+  RangeSource probe({LogicalTypeId::kVarchar}, kFact,
+                    [](DataChunk &chunk, idx_t start, idx_t count) {
+                      for (idx_t i = 0; i < count; i++) {
+                        idx_t row = start + i;
+                        chunk.column(0).SetString(
+                            i, "join_key_string_" +
+                                   std::to_string(HashUint64(row) % kDim));
+                      }
+                      return Status::OK();
+                    });
+  HashJoinConfig config;
+  config.radix_bits = 5;
+  auto join = PhysicalHashJoin::Create(
+                  bm, {LogicalTypeId::kVarchar, LogicalTypeId::kInt64}, {0},
+                  {LogicalTypeId::kVarchar}, {0}, config)
+                  .MoveValue();
+  ASSERT_TRUE(executor.RunPipeline(build, join->build_sink()).ok());
+  ASSERT_TRUE(executor.RunPipeline(probe, join->probe_sink()).ok());
+  EXPECT_GT(bm.Snapshot().temp_writes, 0u) << "expected spilling";
+  CountingCollector collector;
+  ASSERT_TRUE(join->EmitResults(collector, executor).ok());
+  EXPECT_EQ(collector.TotalRows(), kFact);  // every probe row matches once
+  EXPECT_EQ(bm.memory_used(), 0u);
+  EXPECT_EQ(bm.Snapshot().temp_file_size, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, HashJoinTest, ::testing::Values(1, 3));
+
+}  // namespace
+}  // namespace ssagg

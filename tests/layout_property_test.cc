@@ -1,0 +1,204 @@
+// Property sweep for the spillable page layout: random schemas and random
+// data (with NULLs and mixed inline/heap strings) must round-trip through
+// append -> (optional spill/reload cycles) -> scan byte-for-byte, for every
+// combination in the sweep.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/file_system.h"
+#include "common/hash.h"
+#include "common/random.h"
+#include "layout/tuple_data_collection.h"
+
+namespace ssagg {
+namespace {
+
+struct LayoutSweepParams {
+  uint64_t seed;
+  idx_t rows;
+  idx_t memory_pages;  // pool size; small values force spill cycles
+  int scan_rounds;
+};
+
+std::string ParamName(const ::testing::TestParamInfo<LayoutSweepParams> &info) {
+  const auto &p = info.param;
+  return "s" + std::to_string(p.seed) + "_r" + std::to_string(p.rows) +
+         "_m" + std::to_string(p.memory_pages) + "_x" +
+         std::to_string(p.scan_rounds);
+}
+
+class LayoutPropertyTest : public ::testing::TestWithParam<LayoutSweepParams> {
+ protected:
+  void SetUp() override {
+    temp_dir_ = ::testing::TempDir() + "ssagg_layout_prop";
+    (void)FileSystem::CreateDirectories(temp_dir_);
+  }
+  std::string temp_dir_;
+};
+
+const LogicalTypeId kTypePool[] = {LogicalTypeId::kInt32,
+                                   LogicalTypeId::kInt64,
+                                   LogicalTypeId::kDouble,
+                                   LogicalTypeId::kVarchar,
+                                   LogicalTypeId::kDate};
+
+std::vector<LogicalTypeId> RandomSchema(RandomEngine &rng) {
+  idx_t ncols = 1 + rng.NextRange(6);
+  std::vector<LogicalTypeId> types;
+  bool has_string = false;
+  for (idx_t c = 0; c < ncols; c++) {
+    auto type = kTypePool[rng.NextRange(5)];
+    has_string |= type == LogicalTypeId::kVarchar;
+    types.push_back(type);
+  }
+  if (!has_string) {
+    types.push_back(LogicalTypeId::kVarchar);  // always exercise the heap
+  }
+  return types;
+}
+
+/// Deterministic value of (seed, row, column); used to fill and to verify.
+std::string ExpectedString(uint64_t seed, idx_t row, idx_t col) {
+  uint64_t r = HashUint64(seed * 1315423911ULL + row * 31 + col);
+  idx_t len = r % 40;  // 0..39: mixes inlined and non-inlined
+  std::string s;
+  s.reserve(len);
+  for (idx_t i = 0; i < len; i++) {
+    s.push_back(static_cast<char>('a' + ((r >> (i % 32)) + i) % 26));
+  }
+  return s;
+}
+
+bool IsNull(uint64_t seed, idx_t row, idx_t col) {
+  return HashUint64(seed + row * 7919 + col * 104729) % 11 == 0;
+}
+
+int64_t ExpectedNumeric(uint64_t seed, idx_t row, idx_t col) {
+  return static_cast<int64_t>(HashUint64(seed ^ (row * 131 + col)));
+}
+
+TEST_P(LayoutPropertyTest, RoundTripUnderSpillPressure) {
+  const auto &p = GetParam();
+  RandomEngine rng(p.seed);
+  auto types = RandomSchema(rng);
+  BufferManager bm(temp_dir_, p.memory_pages * kPageSize);
+  TupleDataLayout layout;
+  layout.Initialize(types);
+  TupleDataCollection data(bm, layout);
+  TupleDataAppendState append;
+
+  DataChunk chunk(types);
+  for (idx_t start = 0; start < p.rows; start += kVectorSize) {
+    idx_t n = std::min(kVectorSize, p.rows - start);
+    for (idx_t c = 0; c < types.size(); c++) {
+      Vector &vec = chunk.column(c);
+      for (idx_t i = 0; i < n; i++) {
+        idx_t row = start + i;
+        if (IsNull(p.seed, row, c)) {
+          vec.validity().SetInvalid(i);
+          continue;
+        }
+        switch (types[c]) {
+          case LogicalTypeId::kInt32:
+          case LogicalTypeId::kDate:
+            vec.SetValue<int32_t>(
+                i, static_cast<int32_t>(ExpectedNumeric(p.seed, row, c)));
+            break;
+          case LogicalTypeId::kInt64:
+            vec.SetValue<int64_t>(i, ExpectedNumeric(p.seed, row, c));
+            break;
+          case LogicalTypeId::kDouble:
+            vec.SetValue<double>(
+                i, static_cast<double>(ExpectedNumeric(p.seed, row, c)) *
+                       0.125);
+            break;
+          case LogicalTypeId::kVarchar:
+            vec.SetString(i, ExpectedString(p.seed, row, c));
+            break;
+          default:
+            break;
+        }
+      }
+    }
+    chunk.SetCount(n);
+    ASSERT_TRUE(data.AppendRows(append, chunk, nullptr, n, nullptr).ok());
+    append.Release();  // allow spilling between chunks
+    chunk.Reset();
+  }
+  ASSERT_EQ(data.Count(), p.rows);
+
+  // Multiple scan rounds: each one may force the others' pages out again.
+  DataChunk out(types);
+  for (int round = 0; round < p.scan_rounds; round++) {
+    TupleDataScanState scan;
+    data.InitScan(scan);
+    idx_t row = 0;
+    while (true) {
+      auto more = data.Scan(scan, out);
+      ASSERT_TRUE(more.ok()) << more.status().ToString();
+      if (!more.value()) {
+        break;
+      }
+      for (idx_t i = 0; i < out.size(); i++, row++) {
+        for (idx_t c = 0; c < types.size(); c++) {
+          const Vector &vec = out.column(c);
+          if (IsNull(p.seed, row, c)) {
+            ASSERT_FALSE(vec.validity().RowIsValid(i))
+                << "row " << row << " col " << c;
+            continue;
+          }
+          ASSERT_TRUE(vec.validity().RowIsValid(i))
+              << "row " << row << " col " << c;
+          switch (types[c]) {
+            case LogicalTypeId::kInt32:
+            case LogicalTypeId::kDate:
+              ASSERT_EQ(vec.GetValue<int32_t>(i),
+                        static_cast<int32_t>(
+                            ExpectedNumeric(p.seed, row, c)));
+              break;
+            case LogicalTypeId::kInt64:
+              ASSERT_EQ(vec.GetValue<int64_t>(i),
+                        ExpectedNumeric(p.seed, row, c));
+              break;
+            case LogicalTypeId::kDouble:
+              ASSERT_EQ(vec.GetValue<double>(i),
+                        static_cast<double>(
+                            ExpectedNumeric(p.seed, row, c)) *
+                            0.125);
+              break;
+            case LogicalTypeId::kVarchar:
+              ASSERT_EQ(vec.GetString(i).ToString(),
+                        ExpectedString(p.seed, row, c))
+                  << "row " << row << " col " << c;
+              break;
+            default:
+              break;
+          }
+        }
+      }
+    }
+    ASSERT_EQ(row, p.rows) << "round " << round;
+  }
+  // Ample-memory runs must never have touched the temporary file.
+  if (p.memory_pages >= 512) {
+    EXPECT_EQ(bm.Snapshot().temp_writes, 0u);
+  } else {
+    EXPECT_GT(bm.Snapshot().temp_writes, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LayoutPropertyTest,
+    ::testing::Values(LayoutSweepParams{11, 30000, 512, 1},
+                      LayoutSweepParams{22, 60000, 8, 2},
+                      LayoutSweepParams{33, 50000, 6, 3},
+                      LayoutSweepParams{44, 2048, 512, 1},
+                      LayoutSweepParams{55, 100000, 12, 2},
+                      LayoutSweepParams{66, 1, 512, 1}),
+    ParamName);
+
+}  // namespace
+}  // namespace ssagg

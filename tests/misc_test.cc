@@ -1,0 +1,175 @@
+// Tests for the smaller common/ and layout/ pieces: Value boxing, file
+// system, the PRNG, radix bit carving, and type metadata.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/file_system.h"
+#include "common/random.h"
+#include "common/value.h"
+#include "layout/radix_partitioning.h"
+
+namespace ssagg {
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Value
+//===----------------------------------------------------------------------===//
+
+TEST(ValueTest, BoxingAndEquality) {
+  EXPECT_EQ(Value::Int64(42), Value::Int64(42));
+  EXPECT_FALSE(Value::Int64(42) == Value::Int64(43));
+  EXPECT_FALSE(Value::Int64(42) == Value::Double(42.0));
+  EXPECT_EQ(Value::String("abc").ToString(), "abc");
+  EXPECT_TRUE(Value::Null(LogicalTypeId::kInt64).IsNull());
+  EXPECT_EQ(Value::Null(LogicalTypeId::kInt64),
+            Value::Null(LogicalTypeId::kInt64));
+}
+
+TEST(ValueTest, FromVectorRespectsValidity) {
+  Vector v(LogicalTypeId::kDouble);
+  v.SetValue<double>(0, 1.5);
+  v.SetValue<double>(1, 2.5);
+  v.validity().SetInvalid(1);
+  EXPECT_EQ(Value::FromVector(v, 0).GetDouble(), 1.5);
+  EXPECT_TRUE(Value::FromVector(v, 1).IsNull());
+}
+
+TEST(ValueTest, DateAndInt32BoxAsInt64) {
+  Vector v(LogicalTypeId::kDate);
+  v.SetValue<int32_t>(0, 10562);
+  auto value = Value::FromVector(v, 0);
+  EXPECT_EQ(value.type(), LogicalTypeId::kDate);
+  EXPECT_EQ(value.GetInt64(), 10562);
+}
+
+//===----------------------------------------------------------------------===//
+// FileSystem
+//===----------------------------------------------------------------------===//
+
+TEST(FileSystemTest, WriteReadTruncate) {
+  std::string dir = ::testing::TempDir() + "ssagg_fs/nested/deeper";
+  ASSERT_TRUE(FileSystem::CreateDirectories(dir).ok());
+  std::string path = dir + "/file.bin";
+  FileOpenFlags flags;
+  flags.write = true;
+  flags.create = true;
+  flags.truncate = true;
+  auto file = FileSystem::Open(path, flags).MoveValue();
+  const char payload[] = "0123456789";
+  ASSERT_TRUE(file->Write(payload, 10, 0).ok());
+  ASSERT_TRUE(file->Write(payload, 10, 100).ok());  // sparse offset write
+  EXPECT_EQ(file->FileSize().MoveValue(), 110u);
+  char buffer[10];
+  ASSERT_TRUE(file->Read(buffer, 10, 100).ok());
+  EXPECT_EQ(std::string(buffer, 10), "0123456789");
+  ASSERT_TRUE(file->Truncate(50).ok());
+  EXPECT_EQ(file->FileSize().MoveValue(), 50u);
+  file.reset();
+  EXPECT_TRUE(FileSystem::FileExists(path));
+  EXPECT_EQ(FileSystem::GetFileSize(path).MoveValue(), 50u);
+  ASSERT_TRUE(FileSystem::RemoveFile(path).ok());
+  EXPECT_FALSE(FileSystem::FileExists(path));
+  // Removing a missing file is not an error.
+  EXPECT_TRUE(FileSystem::RemoveFile(path).ok());
+}
+
+TEST(FileSystemTest, OpenMissingFileFails) {
+  auto res = FileSystem::Open("/nonexistent/dir/file", FileOpenFlags{});
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(res.status().IsIOError());
+}
+
+TEST(FileSystemTest, ReadPastEofFails) {
+  std::string path = ::testing::TempDir() + "ssagg_eof.bin";
+  FileOpenFlags flags;
+  flags.write = true;
+  flags.create = true;
+  flags.truncate = true;
+  auto file = FileSystem::Open(path, flags).MoveValue();
+  ASSERT_TRUE(file->Write("xy", 2, 0).ok());
+  file.reset();
+  auto reader = FileSystem::Open(path, FileOpenFlags{}).MoveValue();
+  char buffer[8];
+  EXPECT_FALSE(reader->Read(buffer, 8, 0).ok());
+  (void)FileSystem::RemoveFile(path);
+}
+
+//===----------------------------------------------------------------------===//
+// RandomEngine
+//===----------------------------------------------------------------------===//
+
+TEST(RandomEngineTest, DeterministicPerSeed) {
+  RandomEngine a(1), b(1), c(2);
+  for (int i = 0; i < 100; i++) {
+    uint64_t va = a.NextUint64();
+    EXPECT_EQ(va, b.NextUint64());
+    (void)c.NextUint64();
+  }
+  RandomEngine a2(1), c2(2);
+  EXPECT_NE(a2.NextUint64(), c2.NextUint64());
+}
+
+TEST(RandomEngineTest, RangeAndDoubleBounds) {
+  RandomEngine rng(7);
+  for (int i = 0; i < 1000; i++) {
+    EXPECT_LT(rng.NextRange(13), 13u);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+  EXPECT_EQ(rng.NextRange(0), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Radix partitioning bit carving
+//===----------------------------------------------------------------------===//
+
+TEST(RadixPartitioningTest, BitRangesDoNotOverlap) {
+  // Offset bits: [0, 24); radix: [24, 48); salt: [48, 64).
+  hash_t h = ~hash_t(0);
+  EXPECT_EQ(ExtractSalt(h), 0xFFFF);
+  EXPECT_EQ(RadixPartition(h, kMaxRadixBits),
+            (idx_t(1) << kMaxRadixBits) - 1);
+  // Changing only the low 24 bits changes neither salt nor radix.
+  hash_t a = 0xABCD000000000000ULL | 0x0000123456000000ULL | 0x000001;
+  hash_t b = 0xABCD000000000000ULL | 0x0000123456000000ULL | 0xFFFFFF;
+  EXPECT_EQ(ExtractSalt(a), ExtractSalt(b));
+  for (idx_t bits = 1; bits <= kMaxRadixBits; bits++) {
+    EXPECT_EQ(RadixPartition(a, bits), RadixPartition(b, bits));
+  }
+}
+
+TEST(RadixPartitioningTest, EntryPacksPointerAndSalt) {
+  auto ptr = reinterpret_cast<void *>(0x00007f1234567890ULL);
+  uint64_t entry = MakeEntry(ptr, 0xBEEF);
+  EXPECT_EQ(EntrySalt(entry), 0xBEEF);
+  EXPECT_EQ(EntryPointer(entry), reinterpret_cast<data_ptr_t>(ptr));
+  EXPECT_NE(entry, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Type metadata
+//===----------------------------------------------------------------------===//
+
+TEST(TypesTest, WidthsAndNames) {
+  EXPECT_EQ(TypeWidth(LogicalTypeId::kInt32), 4u);
+  EXPECT_EQ(TypeWidth(LogicalTypeId::kDate), 4u);
+  EXPECT_EQ(TypeWidth(LogicalTypeId::kInt64), 8u);
+  EXPECT_EQ(TypeWidth(LogicalTypeId::kDouble), 8u);
+  EXPECT_EQ(TypeWidth(LogicalTypeId::kVarchar), 16u);
+  EXPECT_TRUE(TypeIsVarSize(LogicalTypeId::kVarchar));
+  EXPECT_FALSE(TypeIsVarSize(LogicalTypeId::kInt64));
+  EXPECT_STREQ(TypeName(LogicalTypeId::kVarchar), "VARCHAR");
+}
+
+TEST(TypesTest, SchemaColumnLookup) {
+  Schema schema = {{"a", LogicalTypeId::kInt64},
+                   {"b", LogicalTypeId::kVarchar}};
+  EXPECT_EQ(SchemaColumnIndex(schema, "b"), 1u);
+  EXPECT_EQ(SchemaColumnIndex(schema, "missing"), kInvalidIndex);
+}
+
+}  // namespace
+}  // namespace ssagg

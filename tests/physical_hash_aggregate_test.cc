@@ -1,0 +1,220 @@
+#include "core/physical_hash_aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/file_system.h"
+#include "core/run_aggregation.h"
+#include "execution/collectors.h"
+#include "execution/range_source.h"
+
+namespace ssagg {
+namespace {
+
+class HashAggregateE2ETest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    temp_dir_ = ::testing::TempDir() + "ssagg_e2e_test";
+    (void)FileSystem::CreateDirectories(temp_dir_);
+  }
+  idx_t Threads() const { return static_cast<idx_t>(GetParam()); }
+  std::string temp_dir_;
+};
+
+// Source schema: [int64 key, int64 value, varchar label]
+std::vector<LogicalTypeId> SourceTypes() {
+  return {LogicalTypeId::kInt64, LogicalTypeId::kInt64,
+          LogicalTypeId::kVarchar};
+}
+
+RangeSource MakeSource(idx_t total_rows, idx_t num_groups) {
+  return RangeSource(
+      SourceTypes(), total_rows,
+      [num_groups](DataChunk &chunk, idx_t start, idx_t count) {
+        for (idx_t i = 0; i < count; i++) {
+          idx_t row = start + i;
+          int64_t key = static_cast<int64_t>(row % num_groups);
+          chunk.column(0).SetValue<int64_t>(i, key);
+          chunk.column(1).SetValue<int64_t>(i, static_cast<int64_t>(row));
+          chunk.column(2).SetString(
+              i, "label_for_group_" + std::to_string(key));
+        }
+        return Status::OK();
+      });
+}
+
+// Per-group reference: key k receives rows k, k+G, k+2G, ...
+void CheckSums(const MaterializedCollector &collector, idx_t total_rows,
+               idx_t num_groups) {
+  ASSERT_EQ(collector.RowCount(), num_groups);
+  std::map<int64_t, std::pair<int64_t, int64_t>> seen;  // key -> (sum, count)
+  for (const auto &row : collector.rows()) {
+    ASSERT_EQ(row.size(), 4u);  // key, SUM, COUNT, ANY_VALUE(label)
+    int64_t key = row[0].GetInt64();
+    ASSERT_TRUE(seen.emplace(key, std::make_pair(row[1].GetInt64(),
+                                                 row[2].GetInt64()))
+                    .second)
+        << "duplicate group " << key;
+    EXPECT_EQ(row[3].GetString(), "label_for_group_" + std::to_string(key));
+  }
+  for (idx_t k = 0; k < num_groups; k++) {
+    idx_t occurrences = (total_rows - k + num_groups - 1) / num_groups;
+    int64_t expected_sum = 0;
+    for (idx_t j = 0; j < occurrences; j++) {
+      expected_sum += static_cast<int64_t>(k + j * num_groups);
+    }
+    auto it = seen.find(static_cast<int64_t>(k));
+    ASSERT_NE(it, seen.end()) << "missing group " << k;
+    EXPECT_EQ(it->second.first, expected_sum) << "sum of group " << k;
+    EXPECT_EQ(it->second.second, static_cast<int64_t>(occurrences));
+  }
+}
+
+TEST_P(HashAggregateE2ETest, LowCardinality) {
+  BufferManager bm(temp_dir_, 512 * kPageSize);
+  TaskExecutor executor(Threads());
+  auto source = MakeSource(100000, 4);
+  MaterializedCollector collector;
+  HashAggregateConfig config;
+  config.phase1_capacity = 4096;
+  auto stats = RunGroupedAggregation(
+      bm, source, {0},
+      {{AggregateKind::kSum, 1},
+       {AggregateKind::kCountStar, kInvalidIndex},
+       {AggregateKind::kAnyValue, 2}},
+      collector, executor, config);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  CheckSums(collector, 100000, 4);
+  // Low-cardinality: tiny materialization (4 groups per thread-run).
+  EXPECT_LE(stats.value().materialized_rows, 4 * Threads() * 4u);
+}
+
+TEST_P(HashAggregateE2ETest, HighCardinalityInMemory) {
+  BufferManager bm(temp_dir_, 2048 * kPageSize);
+  TaskExecutor executor(Threads());
+  constexpr idx_t kRows = 200000;
+  constexpr idx_t kGroups = 50000;
+  auto source = MakeSource(kRows, kGroups);
+  MaterializedCollector collector;
+  HashAggregateConfig config;
+  config.phase1_capacity = 4096;  // force resets: groups >> capacity
+  config.radix_bits = 3;
+  auto stats = RunGroupedAggregation(
+      bm, source, {0},
+      {{AggregateKind::kSum, 1},
+       {AggregateKind::kCountStar, kInvalidIndex},
+       {AggregateKind::kAnyValue, 2}},
+      collector, executor, config);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  CheckSums(collector, kRows, kGroups);
+  EXPECT_GT(stats.value().phase1_resets, 0u);
+  // Duplicate groups across resets: more materialized rows than groups.
+  EXPECT_GT(stats.value().materialized_rows, kGroups);
+  EXPECT_EQ(stats.value().unique_groups, kGroups);
+}
+
+TEST_P(HashAggregateE2ETest, ExternalAggregationWithTinyMemoryLimit) {
+  // Memory limit below the intermediate size: phase 1 must spill and
+  // phase 2 must reload, with correct results. The limit respects the
+  // algorithm's minimum (threads x partitions x 2 pinned build pages, plus
+  // one aggregated partition per thread in phase 2 -- Section V).
+  BufferManager bm(temp_dir_, 160 * kPageSize);  // 40 MiB
+  TaskExecutor executor(Threads());
+  constexpr idx_t kRows = 600000;
+  constexpr idx_t kGroups = 600000;  // every group unique: worst case
+  auto source = MakeSource(kRows, kGroups);
+  MaterializedCollector collector;
+  HashAggregateConfig config;
+  config.phase1_capacity = 1024;  // keep pinned working set tiny
+  config.radix_bits = 3;
+  auto stats = RunGroupedAggregation(
+      bm, source, {0},
+      {{AggregateKind::kSum, 1},
+       {AggregateKind::kCountStar, kInvalidIndex},
+       {AggregateKind::kAnyValue, 2}},
+      collector, executor, config);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  CheckSums(collector, kRows, kGroups);
+  auto snap = bm.Snapshot();
+  EXPECT_GT(snap.temp_writes, 0u) << "expected spilling to temporary files";
+  EXPECT_GT(snap.temp_reads, 0u);
+  // Eager destruction: everything is freed afterwards.
+  EXPECT_EQ(snap.temp_file_size, 0u);
+  EXPECT_EQ(bm.memory_used(), 0u);
+}
+
+TEST_P(HashAggregateE2ETest, GroupByStringColumn) {
+  BufferManager bm(temp_dir_, 512 * kPageSize);
+  TaskExecutor executor(Threads());
+  constexpr idx_t kRows = 50000;
+  constexpr idx_t kGroups = 700;
+  auto source = MakeSource(kRows, kGroups);
+  MaterializedCollector collector;
+  HashAggregateConfig config;
+  config.phase1_capacity = 4096;
+  auto stats = RunGroupedAggregation(
+      bm, source, {2}, {{AggregateKind::kCountStar, kInvalidIndex}},
+      collector, executor, config);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(collector.RowCount(), kGroups);
+  int64_t total = 0;
+  for (const auto &row : collector.rows()) {
+    total += row[1].GetInt64();
+  }
+  EXPECT_EQ(total, static_cast<int64_t>(kRows));
+}
+
+TEST_P(HashAggregateE2ETest, MultiColumnGroups) {
+  BufferManager bm(temp_dir_, 512 * kPageSize);
+  TaskExecutor executor(Threads());
+  constexpr idx_t kRows = 60000;
+  RangeSource source(
+      SourceTypes(), kRows, [](DataChunk &chunk, idx_t start, idx_t count) {
+        for (idx_t i = 0; i < count; i++) {
+          idx_t row = start + i;
+          chunk.column(0).SetValue<int64_t>(i, static_cast<int64_t>(row % 10));
+          chunk.column(1).SetValue<int64_t>(i, static_cast<int64_t>(row % 7));
+          chunk.column(2).SetString(i, "x");
+        }
+        return Status::OK();
+      });
+  MaterializedCollector collector;
+  auto stats = RunGroupedAggregation(
+      bm, source, {0, 1}, {{AggregateKind::kCountStar, kInvalidIndex}},
+      collector, executor, HashAggregateConfig{});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(collector.RowCount(), 70u);  // 10 x 7 combinations
+}
+
+TEST_P(HashAggregateE2ETest, OffsetCollectorKeepsOneRow) {
+  BufferManager bm(temp_dir_, 512 * kPageSize);
+  TaskExecutor executor(Threads());
+  constexpr idx_t kGroups = 12345;
+  auto source = MakeSource(50000, kGroups);
+  OffsetCollector collector(kGroups - 1);
+  auto stats = RunGroupedAggregation(
+      bm, source, {0}, {{AggregateKind::kCountStar, kInvalidIndex}},
+      collector, executor, HashAggregateConfig{});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(collector.TotalRows(), kGroups);
+  EXPECT_EQ(collector.kept_rows().size(), 1u);
+}
+
+TEST_P(HashAggregateE2ETest, EmptyInput) {
+  BufferManager bm(temp_dir_, 512 * kPageSize);
+  TaskExecutor executor(Threads());
+  auto source = MakeSource(0, 1);
+  MaterializedCollector collector;
+  auto stats = RunGroupedAggregation(
+      bm, source, {0}, {{AggregateKind::kCountStar, kInvalidIndex}},
+      collector, executor, HashAggregateConfig{});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(collector.RowCount(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, HashAggregateE2ETest,
+                         ::testing::Values(1, 2, 4));
+
+}  // namespace
+}  // namespace ssagg

@@ -1,0 +1,163 @@
+#include "sort/row_serializer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "common/file_system.h"
+#include "sort/row_compare.h"
+
+namespace ssagg {
+namespace {
+
+class RowSerializerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "ssagg_rowser";
+    (void)FileSystem::CreateDirectories(dir_);
+    layout_.Initialize({LogicalTypeId::kInt64, LogicalTypeId::kVarchar,
+                        LogicalTypeId::kDouble});
+  }
+
+  /// Builds a row in `buffer` (with strings referencing `heap`).
+  void MakeRow(std::vector<data_t> &buffer, StringHeap &heap, int64_t id,
+               const std::string &name, double score, bool name_null) {
+    buffer.assign(layout_.RowWidth(), 0);
+    data_ptr_t row = buffer.data();
+    std::memset(row, 0xFF, layout_.ValidityBytes());
+    std::memcpy(row + layout_.ColumnOffset(0), &id, 8);
+    if (name_null) {
+      layout_.RowSetColumnValid(row, 1, false);
+      string_t empty;
+      std::memcpy(row + layout_.ColumnOffset(1), &empty, sizeof(string_t));
+    } else {
+      string_t s = heap.Add(name);
+      std::memcpy(row + layout_.ColumnOffset(1), &s, sizeof(string_t));
+    }
+    std::memcpy(row + layout_.ColumnOffset(2), &score, 8);
+  }
+
+  std::string dir_;
+  TupleDataLayout layout_;
+};
+
+TEST_F(RowSerializerTest, RoundTripMixedRows) {
+  std::string path = dir_ + "/run1.tmp";
+  RunWriter writer(layout_, path);
+  ASSERT_TRUE(writer.Open().ok());
+  StringHeap heap;
+  std::vector<data_t> row;
+  constexpr idx_t kRows = 5000;
+  for (idx_t i = 0; i < kRows; i++) {
+    std::string name = i % 4 == 0 ? "tiny"
+                                  : "a considerably longer name " +
+                                        std::to_string(i);
+    MakeRow(row, heap, static_cast<int64_t>(i), name, i * 0.25,
+            /*name_null=*/i % 17 == 0);
+    ASSERT_TRUE(writer.WriteRow(row.data()).ok());
+  }
+  ASSERT_TRUE(writer.Finish().ok());
+  EXPECT_EQ(writer.RowCount(), kRows);
+
+  RunReader reader(layout_, path, kRows);
+  ASSERT_TRUE(reader.Open().ok());
+  DataChunk out(layout_.Types());
+  idx_t seen = 0;
+  while (true) {
+    std::vector<data_ptr_t> rows;
+    auto n = reader.ReadBatch(kVectorSize, rows);
+    ASSERT_TRUE(n.ok()) << n.status().ToString();
+    if (n.value() == 0) {
+      break;
+    }
+    reader.GatherBatch(rows, out);
+    for (idx_t i = 0; i < out.size(); i++) {
+      idx_t id = seen + i;
+      EXPECT_EQ(out.column(0).GetValue<int64_t>(i),
+                static_cast<int64_t>(id));
+      if (id % 17 == 0) {
+        EXPECT_FALSE(out.column(1).validity().RowIsValid(i));
+      } else {
+        std::string expected =
+            id % 4 == 0 ? "tiny"
+                        : "a considerably longer name " + std::to_string(id);
+        EXPECT_EQ(out.column(1).GetString(i).ToString(), expected);
+      }
+      EXPECT_EQ(out.column(2).GetValue<double>(i), id * 0.25);
+    }
+    seen += out.size();
+  }
+  EXPECT_EQ(seen, kRows);
+  ASSERT_TRUE(reader.Remove().ok());
+  EXPECT_FALSE(FileSystem::FileExists(path));
+}
+
+TEST_F(RowSerializerTest, LargeRowsSpanBufferRefills) {
+  // Strings near the I/O buffer size exercise the refill/grow path.
+  std::string path = dir_ + "/run2.tmp";
+  RunWriter writer(layout_, path);
+  ASSERT_TRUE(writer.Open().ok());
+  StringHeap heap;
+  std::vector<data_t> row;
+  std::string big(700000, 'q');
+  for (idx_t i = 0; i < 5; i++) {
+    big[0] = static_cast<char>('a' + i);
+    MakeRow(row, heap, static_cast<int64_t>(i), big, 0.0, false);
+    ASSERT_TRUE(writer.WriteRow(row.data()).ok());
+  }
+  ASSERT_TRUE(writer.Finish().ok());
+
+  RunReader reader(layout_, path, 5);
+  ASSERT_TRUE(reader.Open().ok());
+  std::vector<data_ptr_t> rows;
+  auto n = reader.ReadBatch(16, rows);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  ASSERT_EQ(n.value(), 5u);
+  DataChunk out(layout_.Types());
+  reader.GatherBatch(rows, out);
+  for (idx_t i = 0; i < 5; i++) {
+    auto s = out.column(1).GetString(i);
+    ASSERT_EQ(s.size(), big.size());
+    EXPECT_EQ(s.data()[0], static_cast<char>('a' + i));
+  }
+  (void)reader.Remove();
+}
+
+TEST_F(RowSerializerTest, CompareLayoutRowsOrdering) {
+  StringHeap heap;
+  std::vector<data_t> a, b;
+  MakeRow(a, heap, 5, "apple", 0, false);
+  MakeRow(b, heap, 5, "banana", 0, false);
+  // First column equal, second decides.
+  EXPECT_LT(CompareLayoutRows(layout_, 2, a.data(), b.data()), 0);
+  EXPECT_GT(CompareLayoutRows(layout_, 2, b.data(), a.data()), 0);
+  EXPECT_EQ(CompareLayoutRows(layout_, 1, a.data(), b.data()), 0);
+  // NULL sorts first.
+  std::vector<data_t> n;
+  MakeRow(n, heap, 5, "zzz", 0, /*name_null=*/true);
+  EXPECT_LT(CompareLayoutRows(layout_, 2, n.data(), a.data()), 0);
+  // Equality.
+  std::vector<data_t> a2;
+  MakeRow(a2, heap, 5, "apple", 0, false);
+  EXPECT_TRUE(LayoutRowsEqual(layout_, 2, a.data(), a2.data()));
+}
+
+TEST_F(RowSerializerTest, CompareNegativeAndDoubleColumns) {
+  TupleDataLayout layout;
+  layout.Initialize({LogicalTypeId::kInt32, LogicalTypeId::kDouble});
+  auto make = [&](int32_t i, double d) {
+    std::vector<data_t> row(layout.RowWidth(), 0);
+    std::memset(row.data(), 0xFF, layout.ValidityBytes());
+    std::memcpy(row.data() + layout.ColumnOffset(0), &i, 4);
+    std::memcpy(row.data() + layout.ColumnOffset(1), &d, 8);
+    return row;
+  };
+  auto neg = make(-10, 0.0), pos = make(10, 0.0);
+  EXPECT_LT(CompareLayoutRows(layout, 2, neg.data(), pos.data()), 0);
+  auto lo = make(1, -2.5), hi = make(1, 2.5);
+  EXPECT_LT(CompareLayoutRows(layout, 2, lo.data(), hi.data()), 0);
+}
+
+}  // namespace
+}  // namespace ssagg

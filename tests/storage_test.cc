@@ -1,0 +1,278 @@
+#include "storage/data_table.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/file_system.h"
+#include "compression/codec.h"
+#include "core/run_aggregation.h"
+#include "execution/collectors.h"
+#include "tpch/lineitem.h"
+
+namespace ssagg {
+namespace {
+
+class StorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    temp_dir_ = ::testing::TempDir() + "ssagg_storage";
+    (void)FileSystem::CreateDirectories(temp_dir_);
+  }
+  std::string temp_dir_;
+};
+
+//===----------------------------------------------------------------------===//
+// Codecs
+//===----------------------------------------------------------------------===//
+
+TEST_F(StorageTest, CodecRoundTripPlainDoubles) {
+  Vector v(LogicalTypeId::kDouble);
+  for (idx_t i = 0; i < 100; i++) {
+    v.SetValue<double>(i, i * 1.5);
+  }
+  v.validity().SetInvalid(7);
+  std::vector<data_t> bytes;
+  ASSERT_TRUE(CompressSegment(v, 100, bytes).ok());
+  DecodedSegment decoded;
+  ASSERT_TRUE(DecompressSegment(bytes.data(), bytes.size(),
+                                LogicalTypeId::kDouble, decoded)
+                  .ok());
+  ASSERT_EQ(decoded.count, 100u);
+  Vector out(LogicalTypeId::kDouble);
+  CopyDecodedRows(decoded, 0, 100, out);
+  for (idx_t i = 0; i < 100; i++) {
+    if (i == 7) {
+      EXPECT_FALSE(out.validity().RowIsValid(i));
+    } else {
+      EXPECT_EQ(out.GetValue<double>(i), i * 1.5);
+    }
+  }
+}
+
+TEST_F(StorageTest, CodecPicksBitpackForSmallRangeIntegers) {
+  Vector v(LogicalTypeId::kInt64);
+  for (idx_t i = 0; i < 2048; i++) {
+    v.SetValue<int64_t>(i, 1000000 + static_cast<int64_t>(i % 16));
+  }
+  std::vector<data_t> bytes;
+  ASSERT_TRUE(CompressSegment(v, 2048, bytes).ok());
+  EXPECT_EQ(static_cast<Codec>(bytes[0]), Codec::kForBitpack);
+  // 4 bits per value instead of 64.
+  EXPECT_LT(bytes.size(), 2048 * 2);
+  DecodedSegment decoded;
+  ASSERT_TRUE(DecompressSegment(bytes.data(), bytes.size(),
+                                LogicalTypeId::kInt64, decoded)
+                  .ok());
+  Vector out(LogicalTypeId::kInt64);
+  CopyDecodedRows(decoded, 0, 2048, out);
+  for (idx_t i = 0; i < 2048; i++) {
+    ASSERT_EQ(out.GetValue<int64_t>(i),
+              1000000 + static_cast<int64_t>(i % 16));
+  }
+}
+
+TEST_F(StorageTest, CodecPicksRleForRuns) {
+  Vector v(LogicalTypeId::kInt32);
+  for (idx_t i = 0; i < 2048; i++) {
+    v.SetValue<int32_t>(i, static_cast<int32_t>(i / 512) * 7919);
+  }
+  std::vector<data_t> bytes;
+  ASSERT_TRUE(CompressSegment(v, 2048, bytes).ok());
+  EXPECT_EQ(static_cast<Codec>(bytes[0]), Codec::kRle);
+  EXPECT_LT(bytes.size(), 300u);
+  DecodedSegment decoded;
+  ASSERT_TRUE(DecompressSegment(bytes.data(), bytes.size(),
+                                LogicalTypeId::kInt32, decoded)
+                  .ok());
+  Vector out(LogicalTypeId::kInt32);
+  CopyDecodedRows(decoded, 0, 2048, out);
+  for (idx_t i = 0; i < 2048; i++) {
+    ASSERT_EQ(out.GetValue<int32_t>(i), static_cast<int32_t>(i / 512) * 7919);
+  }
+}
+
+TEST_F(StorageTest, CodecRoundTripStrings) {
+  Vector v(LogicalTypeId::kVarchar);
+  for (idx_t i = 0; i < 500; i++) {
+    v.SetString(i, i % 5 == 0 ? "x" : "a longer string value #" +
+                                          std::to_string(i));
+  }
+  v.validity().SetInvalid(3);
+  std::vector<data_t> bytes;
+  ASSERT_TRUE(CompressSegment(v, 500, bytes).ok());
+  EXPECT_EQ(static_cast<Codec>(bytes[0]), Codec::kStringPlain);
+  DecodedSegment decoded;
+  ASSERT_TRUE(DecompressSegment(bytes.data(), bytes.size(),
+                                LogicalTypeId::kVarchar, decoded)
+                  .ok());
+  Vector out(LogicalTypeId::kVarchar);
+  CopyDecodedRows(decoded, 0, 500, out);
+  for (idx_t i = 0; i < 500; i++) {
+    if (i == 3) {
+      EXPECT_FALSE(out.validity().RowIsValid(i));
+      continue;
+    }
+    std::string expected = i % 5 == 0 ? "x" : "a longer string value #" +
+                                                  std::to_string(i);
+    ASSERT_EQ(out.GetString(i).ToString(), expected);
+  }
+}
+
+TEST_F(StorageTest, CodecPartialCopy) {
+  Vector v(LogicalTypeId::kInt64);
+  for (idx_t i = 0; i < 2048; i++) {
+    v.SetValue<int64_t>(i, static_cast<int64_t>(i));
+  }
+  std::vector<data_t> bytes;
+  ASSERT_TRUE(CompressSegment(v, 2048, bytes).ok());
+  DecodedSegment decoded;
+  ASSERT_TRUE(DecompressSegment(bytes.data(), bytes.size(),
+                                LogicalTypeId::kInt64, decoded)
+                  .ok());
+  Vector out(LogicalTypeId::kInt64);
+  CopyDecodedRows(decoded, 1000, 48, out);
+  for (idx_t i = 0; i < 48; i++) {
+    EXPECT_EQ(out.GetValue<int64_t>(i), static_cast<int64_t>(1000 + i));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// DataTable
+//===----------------------------------------------------------------------===//
+
+TEST_F(StorageTest, WriteAndScanTable) {
+  auto block_mgr = FileBlockManager::Create(temp_dir_ + "/t1.db").MoveValue();
+  BufferManager bm(temp_dir_, 256 * kPageSize);
+  Schema schema = {{"id", LogicalTypeId::kInt64},
+                   {"name", LogicalTypeId::kVarchar},
+                   {"score", LogicalTypeId::kDouble}};
+  DataTable table(*block_mgr, schema);
+
+  DataChunk chunk({LogicalTypeId::kInt64, LogicalTypeId::kVarchar,
+                   LogicalTypeId::kDouble});
+  constexpr idx_t kRows = 10000;
+  idx_t written = 0;
+  while (written < kRows) {
+    idx_t n = std::min<idx_t>(1000, kRows - written);  // odd chunk sizes
+    for (idx_t i = 0; i < n; i++) {
+      chunk.column(0).SetValue<int64_t>(i, static_cast<int64_t>(written + i));
+      chunk.column(1).SetString(
+          i, "row_" + std::to_string(written + i) + "_payload_string");
+      chunk.column(2).SetValue<double>(i, (written + i) * 0.25);
+    }
+    chunk.SetCount(n);
+    ASSERT_TRUE(table.Append(chunk).ok());
+    chunk.Reset();
+    written += n;
+  }
+  ASSERT_TRUE(table.FinalizeAppend().ok());
+  EXPECT_EQ(table.RowCount(), kRows);
+  EXPECT_GT(table.BlockCount(), 0u);
+
+  auto source = table.MakeScanSource(bm, {0, 1, 2});
+  TaskExecutor executor(2);
+  MaterializedCollector collector;
+  // Identity "aggregation" scan: group by id.
+  auto stats = RunGroupedAggregation(bm, *source, {0},
+                                     {{AggregateKind::kAnyValue, 1},
+                                      {AggregateKind::kSum, 2}},
+                                     collector, executor,
+                                     HashAggregateConfig{});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_EQ(collector.RowCount(), kRows);
+  std::set<int64_t> seen;
+  for (const auto &row : collector.rows()) {
+    int64_t id = row[0].GetInt64();
+    EXPECT_TRUE(seen.insert(id).second);
+    EXPECT_EQ(row[1].GetString(),
+              "row_" + std::to_string(id) + "_payload_string");
+    EXPECT_DOUBLE_EQ(row[2].GetDouble(), id * 0.25);
+  }
+}
+
+TEST_F(StorageTest, ScanWithTinyPoolEvictsPersistentPagesForFree) {
+  auto block_mgr = FileBlockManager::Create(temp_dir_ + "/t2.db").MoveValue();
+  // A pool far smaller than table + intermediates: persistent pages must
+  // be evicted (for free) to make room.
+  BufferManager bm(temp_dir_, 40 * kPageSize);
+  Schema schema = {{"id", LogicalTypeId::kInt64},
+                   {"payload", LogicalTypeId::kVarchar}};
+  DataTable table(*block_mgr, schema);
+  DataChunk chunk({LogicalTypeId::kInt64, LogicalTypeId::kVarchar});
+  constexpr idx_t kRows = 300000;
+  for (idx_t start = 0; start < kRows; start += kVectorSize) {
+    idx_t n = std::min(kVectorSize, kRows - start);
+    for (idx_t i = 0; i < n; i++) {
+      chunk.column(0).SetValue<int64_t>(i, static_cast<int64_t>(start + i));
+      chunk.column(1).SetString(i, "some longer payload value #" +
+                                       std::to_string((start + i) % 100));
+    }
+    chunk.SetCount(n);
+    ASSERT_TRUE(table.Append(chunk).ok());
+    chunk.Reset();
+  }
+  ASSERT_TRUE(table.FinalizeAppend().ok());
+  EXPECT_GT(table.BlockCount(), 40u);  // more blocks than the pool holds
+
+  // Scan twice: pages are loaded, evicted (for free), and reloaded.
+  for (int round = 0; round < 2; round++) {
+    auto source = table.MakeScanSource(bm, {0});
+    TaskExecutor executor(2);
+    CountingCollector collector;
+    auto stats = RunGroupedAggregation(
+        bm, *source, {0}, {}, collector, executor, HashAggregateConfig{
+            /*phase1_capacity=*/1024, /*radix_bits=*/2});
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(collector.TotalRows(), kRows);
+  }
+  auto snap = bm.Snapshot();
+  EXPECT_GT(snap.evicted_persistent_count, 0u);
+}
+
+TEST_F(StorageTest, LineitemThroughStorageMatchesGenerator) {
+  auto block_mgr = FileBlockManager::Create(temp_dir_ + "/li.db").MoveValue();
+  BufferManager bm(temp_dir_, 512 * kPageSize);
+  tpch::LineitemGenerator gen(0.1);
+  DataTable table(*block_mgr, tpch::LineitemSchema());
+
+  std::vector<idx_t> all_cols;
+  for (idx_t c = 0; c < tpch::kColumnCount; c++) {
+    all_cols.push_back(c);
+  }
+  DataChunk chunk(tpch::LineitemGenerator::ColumnTypes(all_cols));
+  for (idx_t start = 0; start < gen.RowCount(); start += kVectorSize) {
+    idx_t n = std::min(kVectorSize, gen.RowCount() - start);
+    ASSERT_TRUE(gen.FillChunk(chunk, all_cols, start, n).ok());
+    ASSERT_TRUE(table.Append(chunk).ok());
+    chunk.Reset();
+  }
+  ASSERT_TRUE(table.FinalizeAppend().ok());
+  EXPECT_EQ(table.RowCount(), gen.RowCount());
+  // Lightweight compression beats the plain row size.
+  idx_t plain_bytes = 0;
+  for (auto c : all_cols) {
+    plain_bytes += gen.RowCount() * TypeWidth(tpch::LineitemSchema()[c].type);
+  }
+  EXPECT_LT(table.CompressedBytes(), plain_bytes);
+
+  // Aggregating from storage gives the same group count as generating.
+  auto query = BuildGroupingQuery(tpch::TableIGroupings()[4], false);
+  auto table_source = table.MakeScanSource(bm, query.projection);
+  auto gen_source = gen.MakeSource(query.projection);
+  TaskExecutor executor(2);
+  CountingCollector from_table, from_gen;
+  ASSERT_TRUE(RunGroupedAggregation(bm, *table_source, query.group_columns,
+                                    query.aggregates, from_table, executor,
+                                    HashAggregateConfig{})
+                  .ok());
+  ASSERT_TRUE(RunGroupedAggregation(bm, *gen_source, query.group_columns,
+                                    query.aggregates, from_gen, executor,
+                                    HashAggregateConfig{})
+                  .ok());
+  EXPECT_EQ(from_table.TotalRows(), from_gen.TotalRows());
+  EXPECT_GT(from_table.TotalRows(), 0u);
+}
+
+}  // namespace
+}  // namespace ssagg

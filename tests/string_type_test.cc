@@ -1,0 +1,79 @@
+#include "common/string_type.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ssagg {
+
+TEST(StringTypeTest, EmptyString) {
+  string_t s;
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_TRUE(s.IsInlined());
+  EXPECT_EQ(s.ToString(), "");
+}
+
+TEST(StringTypeTest, InlinedBoundary) {
+  std::string twelve = "abcdefghijkl";
+  ASSERT_EQ(twelve.size(), 12u);
+  string_t s(twelve);
+  EXPECT_TRUE(s.IsInlined());
+  EXPECT_EQ(s.ToString(), twelve);
+}
+
+TEST(StringTypeTest, NonInlinedBoundary) {
+  std::string thirteen = "abcdefghijklm";
+  ASSERT_EQ(thirteen.size(), 13u);
+  string_t s(thirteen);
+  EXPECT_FALSE(s.IsInlined());
+  EXPECT_EQ(s.ToString(), thirteen);
+  // The prefix holds the first 4 characters.
+  EXPECT_EQ(std::string(s.value.pointer.prefix, 4), "abcd");
+}
+
+TEST(StringTypeTest, EqualityInlined) {
+  EXPECT_EQ(string_t("abc", 3), string_t("abc", 3));
+  EXPECT_NE(string_t("abc", 3), string_t("abd", 3));
+  EXPECT_NE(string_t("abc", 3), string_t("abcd", 4));
+}
+
+TEST(StringTypeTest, EqualityNonInlined) {
+  std::string a = "the quick brown fox";
+  std::string b = "the quick brown fox";
+  std::string c = "the quick brown foy";
+  EXPECT_EQ(string_t(a), string_t(b));
+  EXPECT_NE(string_t(a), string_t(c));
+}
+
+TEST(StringTypeTest, PrefixShortCircuitsComparison) {
+  // Same length, different prefix: must compare unequal without touching
+  // the (equal-suffix) data.
+  std::string a = "aaaa_common_suffix";
+  std::string b = "bbbb_common_suffix";
+  EXPECT_NE(string_t(a), string_t(b));
+}
+
+TEST(StringTypeTest, PointerRecomputationRoundTrip) {
+  // Simulates what the page layout does after a heap page moves: the
+  // character data is memcpy'd to a new address and the pointer is patched.
+  std::string payload = "this string is long enough to not inline";
+  std::vector<char> old_page(payload.begin(), payload.end());
+  string_t s(old_page.data(), static_cast<uint32_t>(payload.size()));
+  ASSERT_FALSE(s.IsInlined());
+
+  std::vector<char> new_page = old_page;  // reloaded elsewhere
+  // recompute: new = stored - old_base + new_base
+  const char *stored = s.Pointer();
+  s.SetPointer(new_page.data() + (stored - old_page.data()));
+  EXPECT_EQ(s.ToString(), payload);
+  EXPECT_EQ(s.Pointer(), new_page.data());
+}
+
+TEST(StringTypeTest, Ordering) {
+  EXPECT_LT(string_t("abc", 3), string_t("abd", 3));
+  EXPECT_LT(string_t("ab", 2), string_t("abc", 3));
+  EXPECT_LT(string_t(std::string("aaaaaaaaaaaaaaaaaa")),
+            string_t(std::string("aaaaaaaaaaaaaaaaab")));
+}
+
+}  // namespace ssagg

@@ -1,0 +1,151 @@
+#include "execution/task_executor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "execution/collectors.h"
+#include "execution/range_source.h"
+
+namespace ssagg {
+namespace {
+
+RangeSource CountingSource(idx_t rows) {
+  return RangeSource({LogicalTypeId::kInt64}, rows,
+                     [](DataChunk &chunk, idx_t start, idx_t count) {
+                       for (idx_t i = 0; i < count; i++) {
+                         chunk.column(0).SetValue<int64_t>(
+                             i, static_cast<int64_t>(start + i));
+                       }
+                       return Status::OK();
+                     });
+}
+
+TEST(TaskExecutorTest, PipelineDeliversEveryRowOnce) {
+  for (idx_t threads : {idx_t(1), idx_t(2), idx_t(4), idx_t(8)}) {
+    TaskExecutor executor(threads);
+    auto source = CountingSource(500000);
+    CountingCollector sink;
+    ASSERT_TRUE(executor.RunPipeline(source, sink).ok());
+    EXPECT_EQ(sink.TotalRows(), 500000u) << threads << " threads";
+  }
+}
+
+TEST(TaskExecutorTest, SourceErrorAbortsPipeline) {
+  TaskExecutor executor(4);
+  RangeSource source({LogicalTypeId::kInt64}, kMorselSize * 16,
+                     [](DataChunk &, idx_t start, idx_t) {
+                       if (start >= kMorselSize * 4) {
+                         return Status::IOError("synthetic read failure");
+                       }
+                       return Status::OK();
+                     });
+  CountingCollector sink;
+  Status st = executor.RunPipeline(source, sink);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsIOError());
+}
+
+class FailingSink : public DataSink {
+ public:
+  Result<std::unique_ptr<LocalSinkState>> InitLocal() override {
+    struct S : LocalSinkState {};
+    return std::unique_ptr<LocalSinkState>(new S());
+  }
+  Status Sink(DataChunk &, LocalSinkState &) override {
+    if (count_.fetch_add(1) >= 3) {
+      return Status::Internal("sink gave up");
+    }
+    return Status::OK();
+  }
+  Status Combine(LocalSinkState &) override { return Status::OK(); }
+
+ private:
+  std::atomic<int> count_{0};
+};
+
+TEST(TaskExecutorTest, SinkErrorAbortsPipeline) {
+  TaskExecutor executor(2);
+  auto source = CountingSource(kMorselSize * 8);
+  FailingSink sink;
+  Status st = executor.RunPipeline(source, sink);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+}
+
+TEST(TaskExecutorTest, RunTasksExecutesEachOnce) {
+  TaskExecutor executor(4);
+  std::atomic<int> counters[16] = {};
+  std::vector<std::function<Status()>> tasks;
+  for (int i = 0; i < 16; i++) {
+    tasks.push_back([&counters, i]() {
+      counters[i].fetch_add(1);
+      return Status::OK();
+    });
+  }
+  ASSERT_TRUE(executor.RunTasks(tasks).ok());
+  for (int i = 0; i < 16; i++) {
+    EXPECT_EQ(counters[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(TaskExecutorTest, RunTasksPropagatesFirstError) {
+  TaskExecutor executor(4);
+  std::vector<std::function<Status()>> tasks;
+  for (int i = 0; i < 8; i++) {
+    tasks.push_back([i]() {
+      if (i == 5) {
+        return Status::InvalidArgument("task 5 failed");
+      }
+      return Status::OK();
+    });
+  }
+  Status st = executor.RunTasks(tasks);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.message(), "task 5 failed");
+}
+
+TEST(TaskExecutorTest, DeadlineInterruptsPipeline) {
+  TaskExecutor executor(2);
+  // A source that never runs dry but is slow per chunk.
+  RangeSource source({LogicalTypeId::kInt64}, kMorselSize * 1000,
+                     [](DataChunk &, idx_t, idx_t) {
+                       std::this_thread::sleep_for(
+                           std::chrono::milliseconds(1));
+                       return Status::OK();
+                     });
+  CountingCollector sink;
+  executor.SetDeadline(0.05);
+  auto start = std::chrono::steady_clock::now();
+  Status st = executor.RunPipeline(source, sink);
+  double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsTimeout());
+  EXPECT_LT(elapsed, 5.0);  // interrupted long before the source ends
+}
+
+TEST(TaskExecutorTest, ClearDeadline) {
+  TaskExecutor executor(1);
+  executor.SetDeadline(0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(executor.CheckDeadline().IsTimeout());
+  executor.ClearDeadline();
+  EXPECT_TRUE(executor.CheckDeadline().ok());
+}
+
+TEST(TaskExecutorTest, RewindAllowsSecondScan) {
+  TaskExecutor executor(2);
+  auto source = CountingSource(100000);
+  CountingCollector sink;
+  ASSERT_TRUE(executor.RunPipeline(source, sink).ok());
+  ASSERT_TRUE(source.Rewind().ok());
+  ASSERT_TRUE(executor.RunPipeline(source, sink).ok());
+  EXPECT_EQ(sink.TotalRows(), 200000u);
+}
+
+}  // namespace
+}  // namespace ssagg

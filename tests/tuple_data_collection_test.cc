@@ -1,0 +1,387 @@
+#include "layout/tuple_data_collection.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/file_system.h"
+#include "common/random.h"
+#include "layout/partitioned_tuple_data.h"
+
+namespace ssagg {
+namespace {
+
+class TupleDataTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    temp_dir_ = ::testing::TempDir() + "ssagg_tdc_test";
+    (void)FileSystem::CreateDirectories(temp_dir_);
+  }
+  std::string temp_dir_;
+};
+
+std::string MakeString(idx_t i) {
+  // Mix of inlined (short) and non-inlined (long) strings.
+  std::string s = "value_" + std::to_string(i);
+  if (i % 3 == 0) {
+    s += "_padded_with_a_long_suffix_to_exceed_inline";
+  }
+  return s;
+}
+
+void FillChunk(DataChunk &chunk, idx_t start, idx_t count) {
+  for (idx_t i = 0; i < count; i++) {
+    chunk.column(0).SetValue<int64_t>(i, static_cast<int64_t>(start + i));
+    chunk.column(1).SetString(i, MakeString(start + i));
+    chunk.column(2).SetValue<double>(i, static_cast<double>(start + i) * 0.5);
+  }
+  chunk.SetCount(count);
+}
+
+std::vector<LogicalTypeId> TestTypes() {
+  return {LogicalTypeId::kInt64, LogicalTypeId::kVarchar,
+          LogicalTypeId::kDouble};
+}
+
+TEST_F(TupleDataTest, LayoutOffsets) {
+  TupleDataLayout layout;
+  layout.Initialize(TestTypes(), /*aggregate_state_width=*/24);
+  // 1 validity byte, then 8 + 16 + 8 bytes of columns, then 24 state bytes.
+  EXPECT_EQ(layout.ValidityBytes(), 1u);
+  EXPECT_EQ(layout.ColumnOffset(0), 1u);
+  EXPECT_EQ(layout.ColumnOffset(1), 9u);
+  EXPECT_EQ(layout.ColumnOffset(2), 25u);
+  EXPECT_EQ(layout.AggregateOffset(), 33u);
+  EXPECT_EQ(layout.RowWidth(), (33u + 24u + 7u) & ~7u);
+  EXPECT_FALSE(layout.AllConstantSize());
+  ASSERT_EQ(layout.VarSizeColumns().size(), 1u);
+  EXPECT_EQ(layout.VarSizeColumns()[0], 1u);
+}
+
+TEST_F(TupleDataTest, AppendAndScanInMemory) {
+  BufferManager bm(temp_dir_, 256 * kPageSize);
+  TupleDataLayout layout;
+  layout.Initialize(TestTypes());
+  TupleDataCollection data(bm, layout);
+  TupleDataAppendState append;
+
+  DataChunk chunk(TestTypes());
+  constexpr idx_t kRows = 5000;
+  for (idx_t start = 0; start < kRows; start += kVectorSize) {
+    idx_t n = std::min(kVectorSize, kRows - start);
+    FillChunk(chunk, start, n);
+    std::vector<data_ptr_t> ptrs(n);
+    ASSERT_TRUE(data.AppendRows(append, chunk, nullptr, n, ptrs.data()).ok());
+  }
+  EXPECT_EQ(data.Count(), kRows);
+  append.Release();
+
+  TupleDataScanState scan;
+  data.InitScan(scan);
+  DataChunk out(TestTypes());
+  idx_t seen = 0;
+  while (true) {
+    auto more = data.Scan(scan, out);
+    ASSERT_TRUE(more.ok());
+    if (!more.value()) {
+      break;
+    }
+    for (idx_t i = 0; i < out.size(); i++) {
+      idx_t id = static_cast<idx_t>(out.column(0).GetValue<int64_t>(i));
+      EXPECT_EQ(out.column(1).GetString(i).ToString(), MakeString(id));
+      EXPECT_EQ(out.column(2).GetValue<double>(i), id * 0.5);
+      seen++;
+    }
+  }
+  EXPECT_EQ(seen, kRows);
+}
+
+TEST_F(TupleDataTest, SpillReloadRecomputesStringPointers) {
+  // Pool of 6 pages; the collection will need more, forcing spills of both
+  // row and heap pages between append and scan.
+  BufferManager bm(temp_dir_, 6 * kPageSize);
+  TupleDataLayout layout;
+  layout.Initialize(TestTypes());
+  TupleDataCollection data(bm, layout);
+  TupleDataAppendState append;
+
+  DataChunk chunk(TestTypes());
+  constexpr idx_t kRows = 60000;  // several row pages, several heap pages
+  for (idx_t start = 0; start < kRows; start += kVectorSize) {
+    idx_t n = std::min(kVectorSize, kRows - start);
+    FillChunk(chunk, start, n);
+    ASSERT_TRUE(data.AppendRows(append, chunk, nullptr, n, nullptr).ok());
+    // Unpin after every chunk so pages can spill mid-append.
+    append.Release();
+  }
+  EXPECT_GT(bm.Snapshot().temp_writes, 0u) << "expected spilling";
+
+  TupleDataScanState scan;
+  data.InitScan(scan);
+  DataChunk out(TestTypes());
+  idx_t seen = 0;
+  while (true) {
+    auto more = data.Scan(scan, out);
+    ASSERT_TRUE(more.ok()) << more.status().ToString();
+    if (!more.value()) {
+      break;
+    }
+    for (idx_t i = 0; i < out.size(); i++) {
+      idx_t id = static_cast<idx_t>(out.column(0).GetValue<int64_t>(i));
+      ASSERT_EQ(out.column(1).GetString(i).ToString(), MakeString(id))
+          << "row " << seen + i;
+      seen++;
+    }
+  }
+  EXPECT_EQ(seen, kRows);
+}
+
+TEST_F(TupleDataTest, ScanTwiceAfterRepeatedSpills) {
+  // Every scan can force the other pages out; pointers must survive
+  // arbitrary spill/reload cycles because recomputation updates old_base.
+  BufferManager bm(temp_dir_, 4 * kPageSize);
+  TupleDataLayout layout;
+  layout.Initialize(TestTypes());
+  TupleDataCollection data(bm, layout);
+  TupleDataAppendState append;
+  DataChunk chunk(TestTypes());
+  constexpr idx_t kRows = 30000;
+  for (idx_t start = 0; start < kRows; start += kVectorSize) {
+    idx_t n = std::min(kVectorSize, kRows - start);
+    FillChunk(chunk, start, n);
+    ASSERT_TRUE(data.AppendRows(append, chunk, nullptr, n, nullptr).ok());
+    append.Release();
+  }
+  DataChunk out(TestTypes());
+  for (int round = 0; round < 3; round++) {
+    TupleDataScanState scan;
+    data.InitScan(scan);
+    idx_t seen = 0;
+    while (true) {
+      auto more = data.Scan(scan, out);
+      ASSERT_TRUE(more.ok());
+      if (!more.value()) {
+        break;
+      }
+      for (idx_t i = 0; i < out.size(); i++) {
+        idx_t id = static_cast<idx_t>(out.column(0).GetValue<int64_t>(i));
+        ASSERT_EQ(out.column(1).GetString(i).ToString(), MakeString(id));
+        seen++;
+      }
+    }
+    EXPECT_EQ(seen, kRows) << "round " << round;
+  }
+}
+
+TEST_F(TupleDataTest, DestroyAfterScanFreesPages) {
+  BufferManager bm(temp_dir_, 64 * kPageSize);
+  TupleDataLayout layout;
+  layout.Initialize(TestTypes());
+  TupleDataCollection data(bm, layout);
+  TupleDataAppendState append;
+  DataChunk chunk(TestTypes());
+  constexpr idx_t kRows = 30000;
+  for (idx_t start = 0; start < kRows; start += kVectorSize) {
+    idx_t n = std::min(kVectorSize, kRows - start);
+    FillChunk(chunk, start, n);
+    ASSERT_TRUE(data.AppendRows(append, chunk, nullptr, n, nullptr).ok());
+  }
+  append.Release();
+  idx_t before = bm.memory_used();
+  EXPECT_GT(before, 0u);
+  TupleDataScanState scan;
+  data.InitScan(scan, /*destroy_after_scan=*/true);
+  DataChunk out(TestTypes());
+  idx_t seen = 0;
+  while (true) {
+    auto more = data.Scan(scan, out);
+    ASSERT_TRUE(more.ok());
+    if (!more.value()) {
+      break;
+    }
+    seen += out.size();
+  }
+  EXPECT_EQ(seen, kRows);
+  EXPECT_EQ(bm.memory_used(), 0u);
+}
+
+TEST_F(TupleDataTest, NullsRoundTrip) {
+  BufferManager bm(temp_dir_, 64 * kPageSize);
+  TupleDataLayout layout;
+  layout.Initialize(TestTypes());
+  TupleDataCollection data(bm, layout);
+  TupleDataAppendState append;
+  DataChunk chunk(TestTypes());
+  FillChunk(chunk, 0, 100);
+  for (idx_t i = 0; i < 100; i += 7) {
+    chunk.column(1).validity().SetInvalid(i);
+  }
+  for (idx_t i = 0; i < 100; i += 11) {
+    chunk.column(2).validity().SetInvalid(i);
+  }
+  ASSERT_TRUE(data.AppendRows(append, chunk, nullptr, 100, nullptr).ok());
+  append.Release();
+  TupleDataScanState scan;
+  data.InitScan(scan);
+  DataChunk out(TestTypes());
+  auto more = data.Scan(scan, out);
+  ASSERT_TRUE(more.ok());
+  ASSERT_TRUE(more.value());
+  ASSERT_EQ(out.size(), 100u);
+  for (idx_t i = 0; i < 100; i++) {
+    EXPECT_EQ(out.column(1).validity().RowIsValid(i), i % 7 != 0) << i;
+    EXPECT_EQ(out.column(2).validity().RowIsValid(i), i % 11 != 0) << i;
+    EXPECT_TRUE(out.column(0).validity().RowIsValid(i));
+  }
+}
+
+TEST_F(TupleDataTest, SelectionVectorAppend) {
+  BufferManager bm(temp_dir_, 64 * kPageSize);
+  TupleDataLayout layout;
+  layout.Initialize(TestTypes());
+  TupleDataCollection data(bm, layout);
+  TupleDataAppendState append;
+  DataChunk chunk(TestTypes());
+  FillChunk(chunk, 0, 100);
+  idx_t sel[3] = {5, 50, 99};
+  data_ptr_t ptrs[3];
+  ASSERT_TRUE(data.AppendRows(append, chunk, sel, 3, ptrs).ok());
+  EXPECT_EQ(data.Count(), 3u);
+  // Row pointers are immediately dereferenceable while pins are held.
+  for (int i = 0; i < 3; i++) {
+    int64_t v;
+    std::memcpy(&v, ptrs[i] + layout.ColumnOffset(0), sizeof(v));
+    EXPECT_EQ(v, static_cast<int64_t>(sel[i]));
+  }
+}
+
+TEST_F(TupleDataTest, CombineMovesPages) {
+  BufferManager bm(temp_dir_, 64 * kPageSize);
+  TupleDataLayout layout;
+  layout.Initialize(TestTypes());
+  TupleDataCollection a(bm, layout);
+  TupleDataCollection b(bm, layout);
+  TupleDataAppendState sa, sb;
+  DataChunk chunk(TestTypes());
+  FillChunk(chunk, 0, 100);
+  ASSERT_TRUE(a.AppendRows(sa, chunk, nullptr, 100, nullptr).ok());
+  FillChunk(chunk, 100, 100);
+  ASSERT_TRUE(b.AppendRows(sb, chunk, nullptr, 100, nullptr).ok());
+  sa.Release();
+  sb.Release();
+  a.Combine(b);
+  EXPECT_EQ(a.Count(), 200u);
+  EXPECT_EQ(b.Count(), 0u);
+  TupleDataScanState scan;
+  a.InitScan(scan);
+  DataChunk out(TestTypes());
+  idx_t seen = 0;
+  std::vector<bool> found(200, false);
+  while (true) {
+    auto more = a.Scan(scan, out);
+    ASSERT_TRUE(more.ok());
+    if (!more.value()) {
+      break;
+    }
+    for (idx_t i = 0; i < out.size(); i++) {
+      idx_t id = static_cast<idx_t>(out.column(0).GetValue<int64_t>(i));
+      ASSERT_LT(id, 200u);
+      EXPECT_FALSE(found[id]);
+      found[id] = true;
+      EXPECT_EQ(out.column(1).GetString(i).ToString(), MakeString(id));
+      seen++;
+    }
+  }
+  EXPECT_EQ(seen, 200u);
+}
+
+TEST_F(TupleDataTest, PartitionedAppendRoutesByRadix) {
+  BufferManager bm(temp_dir_, 128 * kPageSize);
+  TupleDataLayout layout;
+  layout.Initialize(TestTypes());
+  constexpr idx_t kRadixBits = 3;
+  PartitionedTupleData parts(bm, layout, kRadixBits);
+  EXPECT_EQ(parts.PartitionCount(), 8u);
+
+  DataChunk chunk(TestTypes());
+  RandomEngine rng(42);
+  std::vector<hash_t> hashes(kVectorSize);
+  idx_t total = 0;
+  for (int c = 0; c < 10; c++) {
+    FillChunk(chunk, c * kVectorSize, kVectorSize);
+    for (idx_t i = 0; i < kVectorSize; i++) {
+      hashes[i] = rng.NextUint64();
+    }
+    std::vector<data_ptr_t> ptrs(kVectorSize);
+    ASSERT_TRUE(parts.Append(chunk, hashes.data(), nullptr, kVectorSize,
+                             ptrs.data()).ok());
+    total += kVectorSize;
+  }
+  EXPECT_EQ(parts.Count(), total);
+  // With uniform random hashes all partitions should be populated and
+  // roughly equal ("partitions are of roughly equal size", Section V).
+  idx_t min_count = total, max_count = 0;
+  for (idx_t p = 0; p < parts.PartitionCount(); p++) {
+    min_count = std::min(min_count, parts.partition(p).Count());
+    max_count = std::max(max_count, parts.partition(p).Count());
+  }
+  EXPECT_GT(min_count, 0u);
+  EXPECT_LT(max_count, 2 * total / parts.PartitionCount());
+  parts.ReleaseAppendPins();
+}
+
+TEST_F(TupleDataTest, VisitRowsSeesAllRows) {
+  BufferManager bm(temp_dir_, 64 * kPageSize);
+  TupleDataLayout layout;
+  layout.Initialize({LogicalTypeId::kInt64});
+  TupleDataCollection data(bm, layout);
+  TupleDataAppendState append;
+  DataChunk chunk({LogicalTypeId::kInt64});
+  constexpr idx_t kRows = 40000;  // multiple pages
+  for (idx_t start = 0; start < kRows; start += kVectorSize) {
+    idx_t n = std::min(kVectorSize, kRows - start);
+    for (idx_t i = 0; i < n; i++) {
+      chunk.column(0).SetValue<int64_t>(i, static_cast<int64_t>(start + i));
+    }
+    chunk.SetCount(n);
+    ASSERT_TRUE(data.AppendRows(append, chunk, nullptr, n, nullptr).ok());
+  }
+  int64_t sum = 0;
+  idx_t visited = 0;
+  ASSERT_TRUE(data.VisitRows(append, [&](data_ptr_t row) {
+    int64_t v;
+    std::memcpy(&v, row + layout.ColumnOffset(0), sizeof(v));
+    sum += v;
+    visited++;
+  }).ok());
+  EXPECT_EQ(visited, kRows);
+  EXPECT_EQ(sum, static_cast<int64_t>(kRows) * (kRows - 1) / 2);
+  append.Release();
+}
+
+TEST_F(TupleDataTest, OversizedStringGetsVariablePage) {
+  BufferManager bm(temp_dir_, 64 * kPageSize);
+  TupleDataLayout layout;
+  layout.Initialize({LogicalTypeId::kVarchar});
+  TupleDataCollection data(bm, layout);
+  TupleDataAppendState append;
+  DataChunk chunk({LogicalTypeId::kVarchar});
+  std::string huge(kPageSize + 100, 'x');
+  huge[0] = 'y';
+  huge[huge.size() - 1] = 'z';
+  chunk.column(0).SetString(0, huge);
+  chunk.SetCount(1);
+  ASSERT_TRUE(data.AppendRows(append, chunk, nullptr, 1, nullptr).ok());
+  append.Release();
+  TupleDataScanState scan;
+  data.InitScan(scan);
+  DataChunk out({LogicalTypeId::kVarchar});
+  auto more = data.Scan(scan, out);
+  ASSERT_TRUE(more.ok());
+  ASSERT_TRUE(more.value());
+  EXPECT_EQ(out.column(0).GetString(0).ToString(), huge);
+}
+
+}  // namespace
+}  // namespace ssagg

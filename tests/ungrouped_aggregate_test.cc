@@ -1,0 +1,103 @@
+#include "core/ungrouped_aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include "common/value.h"
+#include "execution/range_source.h"
+#include "execution/task_executor.h"
+
+namespace ssagg {
+namespace {
+
+std::vector<LogicalTypeId> SourceTypes() {
+  return {LogicalTypeId::kInt64, LogicalTypeId::kDouble,
+          LogicalTypeId::kVarchar};
+}
+
+RangeSource MakeSource(idx_t rows) {
+  return RangeSource(SourceTypes(), rows,
+                     [](DataChunk &chunk, idx_t start, idx_t count) {
+                       for (idx_t i = 0; i < count; i++) {
+                         idx_t row = start + i;
+                         chunk.column(0).SetValue<int64_t>(
+                             i, static_cast<int64_t>(row));
+                         chunk.column(1).SetValue<double>(i, row * 0.5);
+                         chunk.column(2).SetString(
+                             i, "value_" + std::to_string(row % 100));
+                       }
+                       return Status::OK();
+                     });
+}
+
+class UngroupedAggregateTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(UngroupedAggregateTest, TpchQ1StyleAggregates) {
+  idx_t threads = static_cast<idx_t>(GetParam());
+  constexpr idx_t kRows = 500000;
+  auto op = PhysicalUngroupedAggregate::Create(
+                SourceTypes(),
+                {{AggregateKind::kCountStar, kInvalidIndex},
+                 {AggregateKind::kSum, 0},
+                 {AggregateKind::kAvg, 1},
+                 {AggregateKind::kMin, 0},
+                 {AggregateKind::kMax, 1}})
+                .MoveValue();
+  auto source = MakeSource(kRows);
+  TaskExecutor executor(threads);
+  ASSERT_TRUE(executor.RunPipeline(source, *op).ok());
+  DataChunk out(op->OutputTypes());
+  ASSERT_TRUE(op->GetResult(out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.column(0).GetValue<int64_t>(0),
+            static_cast<int64_t>(kRows));
+  EXPECT_EQ(out.column(1).GetValue<int64_t>(0),
+            static_cast<int64_t>(kRows) * (kRows - 1) / 2);
+  EXPECT_DOUBLE_EQ(out.column(2).GetValue<double>(0),
+                   (kRows - 1) * 0.5 / 2.0);
+  EXPECT_EQ(out.column(3).GetValue<int64_t>(0), 0);
+  EXPECT_DOUBLE_EQ(out.column(4).GetValue<double>(0), (kRows - 1) * 0.5);
+}
+
+TEST_P(UngroupedAggregateTest, StringMinMaxAnyValue) {
+  idx_t threads = static_cast<idx_t>(GetParam());
+  auto op = PhysicalUngroupedAggregate::Create(
+                SourceTypes(),
+                {{AggregateKind::kMin, 2},
+                 {AggregateKind::kMax, 2},
+                 {AggregateKind::kAnyValue, 2},
+                 {AggregateKind::kCount, 2}})
+                .MoveValue();
+  auto source = MakeSource(10000);
+  TaskExecutor executor(threads);
+  ASSERT_TRUE(executor.RunPipeline(source, *op).ok());
+  DataChunk out(op->OutputTypes());
+  ASSERT_TRUE(op->GetResult(out).ok());
+  EXPECT_EQ(out.column(0).GetString(0).ToString(), "value_0");
+  EXPECT_EQ(out.column(1).GetString(0).ToString(), "value_99");
+  EXPECT_TRUE(out.column(2).validity().RowIsValid(0));
+  EXPECT_EQ(out.column(3).GetValue<int64_t>(0), 10000);
+}
+
+TEST_P(UngroupedAggregateTest, EmptyInputYieldsNullsAndZeroCounts) {
+  idx_t threads = static_cast<idx_t>(GetParam());
+  auto op = PhysicalUngroupedAggregate::Create(
+                SourceTypes(),
+                {{AggregateKind::kCountStar, kInvalidIndex},
+                 {AggregateKind::kSum, 0},
+                 {AggregateKind::kMin, 2}})
+                .MoveValue();
+  auto source = MakeSource(0);
+  TaskExecutor executor(threads);
+  ASSERT_TRUE(executor.RunPipeline(source, *op).ok());
+  DataChunk out(op->OutputTypes());
+  ASSERT_TRUE(op->GetResult(out).ok());
+  EXPECT_EQ(out.column(0).GetValue<int64_t>(0), 0);
+  EXPECT_FALSE(out.column(1).validity().RowIsValid(0));
+  EXPECT_FALSE(out.column(2).validity().RowIsValid(0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, UngroupedAggregateTest,
+                         ::testing::Values(1, 4));
+
+}  // namespace
+}  // namespace ssagg

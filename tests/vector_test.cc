@@ -1,0 +1,119 @@
+#include "common/vector.h"
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+
+namespace ssagg {
+
+TEST(ValidityMaskTest, AllValidByDefault) {
+  ValidityMask mask;
+  EXPECT_TRUE(mask.AllValid());
+  EXPECT_TRUE(mask.RowIsValid(0));
+  EXPECT_TRUE(mask.RowIsValid(1000));
+  EXPECT_EQ(mask.CountValid(100), 100u);
+}
+
+TEST(ValidityMaskTest, SetInvalidAndBack) {
+  ValidityMask mask;
+  mask.SetInvalid(5);
+  EXPECT_FALSE(mask.RowIsValid(5));
+  EXPECT_TRUE(mask.RowIsValid(4));
+  EXPECT_TRUE(mask.RowIsValid(6));
+  EXPECT_EQ(mask.CountValid(10), 9u);
+  mask.SetValid(5);
+  EXPECT_TRUE(mask.RowIsValid(5));
+}
+
+TEST(ValidityMaskTest, WordBoundary) {
+  ValidityMask mask;
+  mask.SetInvalid(63);
+  mask.SetInvalid(64);
+  EXPECT_FALSE(mask.RowIsValid(63));
+  EXPECT_FALSE(mask.RowIsValid(64));
+  EXPECT_TRUE(mask.RowIsValid(62));
+  EXPECT_TRUE(mask.RowIsValid(65));
+}
+
+TEST(VectorTest, TypedAccess) {
+  Vector v(LogicalTypeId::kInt64);
+  for (idx_t i = 0; i < kVectorSize; i++) {
+    v.SetValue<int64_t>(i, static_cast<int64_t>(i * 7));
+  }
+  for (idx_t i = 0; i < kVectorSize; i++) {
+    EXPECT_EQ(v.GetValue<int64_t>(i), static_cast<int64_t>(i * 7));
+  }
+}
+
+TEST(VectorTest, StringsGoThroughHeap) {
+  Vector v(LogicalTypeId::kVarchar);
+  v.SetString(0, "short");
+  v.SetString(1, "a string that is definitely not inlined");
+  EXPECT_EQ(v.GetString(0).ToString(), "short");
+  EXPECT_EQ(v.GetString(1).ToString(),
+            "a string that is definitely not inlined");
+  EXPECT_GT(v.heap().SizeInBytes(), 0u);
+}
+
+TEST(DataChunkTest, InitializeAndTypes) {
+  DataChunk chunk({LogicalTypeId::kInt32, LogicalTypeId::kVarchar});
+  EXPECT_EQ(chunk.ColumnCount(), 2u);
+  EXPECT_EQ(chunk.size(), 0u);
+  chunk.SetCount(10);
+  EXPECT_EQ(chunk.size(), 10u);
+  auto types = chunk.Types();
+  EXPECT_EQ(types[0], LogicalTypeId::kInt32);
+  EXPECT_EQ(types[1], LogicalTypeId::kVarchar);
+}
+
+TEST(HashTest, DeterministicAndSpread) {
+  EXPECT_EQ(HashUint64(42), HashUint64(42));
+  EXPECT_NE(HashUint64(42), HashUint64(43));
+  // Top 16 bits (the salt region) must vary for consecutive keys.
+  int distinct_salts = 0;
+  uint16_t last = 0;
+  for (uint64_t i = 0; i < 64; i++) {
+    auto salt = static_cast<uint16_t>(HashUint64(i) >> 48);
+    if (i == 0 || salt != last) {
+      distinct_salts++;
+    }
+    last = salt;
+  }
+  EXPECT_GT(distinct_salts, 32);
+}
+
+TEST(HashTest, StringHashMatchesBytes) {
+  string_t s("hello world, long enough to spill", 33);
+  EXPECT_EQ(HashString(s), HashBytes(s.data(), s.size()));
+}
+
+TEST(HashTest, VectorHashNullsAreStable) {
+  Vector v(LogicalTypeId::kInt32);
+  v.SetValue<int32_t>(0, 1);
+  v.SetValue<int32_t>(1, 1);
+  v.validity().SetInvalid(1);
+  hash_t hashes[2];
+  VectorHash(v, 2, hashes);
+  EXPECT_NE(hashes[0], hashes[1]);  // NULL hashes differently from 1
+  Vector w(LogicalTypeId::kInt32);
+  w.SetValue<int32_t>(0, 99);
+  w.validity().SetInvalid(0);
+  hash_t other[1];
+  VectorHash(w, 1, other);
+  EXPECT_EQ(other[0], hashes[1]);  // all NULLs hash alike
+}
+
+TEST(HashTest, ChunkHashCombinesColumns) {
+  DataChunk chunk({LogicalTypeId::kInt32, LogicalTypeId::kInt32});
+  chunk.column(0).SetValue<int32_t>(0, 1);
+  chunk.column(1).SetValue<int32_t>(0, 2);
+  chunk.column(0).SetValue<int32_t>(1, 2);
+  chunk.column(1).SetValue<int32_t>(1, 1);
+  chunk.SetCount(2);
+  hash_t hashes[2];
+  ChunkHash(chunk, {0, 1}, hashes);
+  // (1,2) and (2,1) must not collide: combination is order-sensitive.
+  EXPECT_NE(hashes[0], hashes[1]);
+}
+
+}  // namespace ssagg
