@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Builds the tree and runs the test suite, then repeats the run under
+# ASan+UBSan (SSAGG_SANITIZE wires the flags through the whole tree).
+# The batched-append and pointer-recomputation code paths are exactly where
+# the sanitizers earn their keep.
+#
+# Usage: scripts/check.sh [--asan-only|--plain-only]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+MODE="${1:-all}"
+
+run_build() {
+  local dir="$1"; shift
+  cmake -B "$dir" -S . "$@"
+  cmake --build "$dir" -j "$JOBS"
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+if [[ "$MODE" != "--asan-only" ]]; then
+  echo "=== plain build + ctest ==="
+  run_build build
+fi
+
+if [[ "$MODE" != "--plain-only" ]]; then
+  echo "=== ASan+UBSan build + ctest ==="
+  run_build build-san -DSSAGG_SANITIZE=address,undefined
+fi
+
+echo "all checks passed"

@@ -45,6 +45,10 @@ void HashDispatch(const Vector &input, idx_t count, hash_t *hashes,
     case LogicalTypeId::kVarchar:
       HashTypedLoop<string_t>(input, count, hashes, combine);
       break;
+    default:
+      // A type missing from this switch would silently leave `hashes`
+      // uninitialized and aggregate garbage; fail loudly instead.
+      SSAGG_ASSERT(!"HashDispatch: unhandled LogicalTypeId");
   }
 }
 

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/constants.h"
@@ -96,6 +97,56 @@ inline void CopyVectorShallow(const Vector &src, Vector &dst, idx_t count) {
   std::memcpy(dst.data(), src.data(), count * src.width());
   dst.validity().CopyFrom(src.validity());
 }
+
+/// A selection vector: an owning, fixed-capacity (kVectorSize) list of row
+/// indices, the currency of the vectorized probe pipeline. Operator code
+/// partitions a chunk's rows into selections (match candidates, empty-slot
+/// rows, collisions) and each subsequent kernel runs over one selection.
+/// The raw index array is exposed so selections interoperate with the
+/// `const idx_t *sel` convention used by AppendRows and aggregate updates.
+class SelectionVector {
+ public:
+  SelectionVector() : sel_(new idx_t[kVectorSize]), count_(0) {}
+
+  idx_t *data() { return sel_.get(); }
+  const idx_t *data() const { return sel_.get(); }
+  idx_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  idx_t operator[](idx_t i) const {
+    SSAGG_DASSERT(i < count_);
+    return sel_[i];
+  }
+
+  void Clear() { count_ = 0; }
+  void Append(idx_t row) {
+    SSAGG_DASSERT(count_ < kVectorSize);
+    sel_[count_++] = row;
+  }
+  /// Sets the count directly (after a kernel wrote indices through data()).
+  void SetCount(idx_t count) {
+    SSAGG_DASSERT(count <= kVectorSize);
+    count_ = count;
+  }
+
+  /// Fills with the identity selection [start, start + count).
+  void InitRange(idx_t start, idx_t count) {
+    SSAGG_DASSERT(count <= kVectorSize);
+    for (idx_t i = 0; i < count; i++) {
+      sel_[i] = start + i;
+    }
+    count_ = count;
+  }
+
+  void Swap(SelectionVector &other) {
+    sel_.swap(other.sel_);
+    std::swap(count_, other.count_);
+  }
+
+ private:
+  std::unique_ptr<idx_t[]> sel_;
+  idx_t count_;
+};
 
 /// A horizontal batch of vectors sharing one row count (<= kVectorSize).
 class DataChunk {

@@ -8,7 +8,27 @@
 namespace ssagg {
 
 namespace {
+
 bool IsPowerOfTwo(idx_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// A slot claimed during the salt scan but not yet backfilled with its row
+/// pointer: the salt is already in place, the pointer bits carry a non-zero
+/// tag so the slot can never be mistaken for empty (entry 0), even when the
+/// salt itself is 0. Rows of the same round that salt-match a claimed slot
+/// are deferred to the compare pass, which runs after the batched append
+/// has backfilled the real pointer.
+inline uint64_t MakeClaimedEntry(uint16_t salt) {
+  return (static_cast<uint64_t>(salt) << kSaltShift) | 1ULL;
+}
+
+inline void PrefetchRead(const void *ptr) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(ptr, 0, 3);
+#else
+  (void)ptr;
+#endif
+}
+
 }  // namespace
 
 GroupedAggregateHashTable::GroupedAggregateHashTable(
@@ -61,6 +81,12 @@ Status GroupedAggregateHashTable::Initialize(AggregateRowLayout row_layout) {
   row_ptrs_.resize(kVectorSize);
   state_ptrs_.resize(kVectorSize);
   sel_scratch_.resize(kVectorSize);
+
+  row_matcher_.Initialize(row_layout_.layout, row_layout_.group_count,
+                          row_layout_.hash_column);
+  ht_offsets_.resize(kVectorSize);
+  salts_.resize(kVectorSize);
+  new_row_ptrs_.resize(kVectorSize);
   return Status::OK();
 }
 
@@ -116,6 +142,15 @@ bool GroupedAggregateHashTable::RowMatches(const DataChunk &layout_chunk,
 Status GroupedAggregateHashTable::FindOrCreateGroups(
     const DataChunk &layout_chunk, const hash_t *hashes, idx_t start,
     idx_t count) {
+  if (config_.vectorized_probe) {
+    return FindOrCreateGroupsVectorized(layout_chunk, hashes, start, count);
+  }
+  return FindOrCreateGroupsScalar(layout_chunk, hashes, start, count);
+}
+
+Status GroupedAggregateHashTable::FindOrCreateGroupsScalar(
+    const DataChunk &layout_chunk, const hash_t *hashes, idx_t start,
+    idx_t count) {
   uint64_t *table = entries();
   const bool use_salt = config_.use_salt;
   for (idx_t r = start; r < start + count; r++) {
@@ -149,6 +184,7 @@ Status GroupedAggregateHashTable::FindOrCreateGroups(
       if (!use_salt || EntrySalt(entry) == salt) {
         data_ptr_t row = EntryPointer(entry);
         stats_.key_compares++;
+        stats_.scalar_compares++;
         if (RowMatches(layout_chunk, r, row)) {
           row_ptrs_[r] = row;
           break;
@@ -157,6 +193,133 @@ Status GroupedAggregateHashTable::FindOrCreateGroups(
       }
       idx = (idx + 1) & mask_;
     }
+  }
+  return Status::OK();
+}
+
+Status GroupedAggregateHashTable::FindOrCreateGroupsVectorized(
+    const DataChunk &layout_chunk, const hash_t *hashes, idx_t start,
+    idx_t count) {
+  SSAGG_DASSERT(start + count <= kVectorSize);
+  uint64_t *table = entries();
+  const bool use_salt = config_.use_salt;
+
+  // All slot indices and salts are computed up front, once.
+  for (idx_t r = start; r < start + count; r++) {
+    ht_offsets_[r] = hashes[r] & mask_;
+    salts_[r] = ExtractSalt(hashes[r]);
+  }
+  remaining_sel_.InitRange(start, count);
+
+  while (!remaining_sel_.empty()) {
+    const idx_t remaining = remaining_sel_.size();
+    stats_.probe_rounds++;
+
+    // The grow/budget guard is hoisted out of the per-row loop: one check
+    // per round bounds this round's claims. A resizable table grows until
+    // even an all-new-groups round stays under the fill threshold; a
+    // fixed-size (phase-1) table relies on the caller batching by
+    // ResetBudget(), which the per-claim assert below re-checks.
+    if (config_.resizable) {
+      while (count_ + remaining >= capacity_ * config_.reset_fill_ratio) {
+        if (capacity_ >= (idx_t(1) << kMaxHashTableBits)) {
+          if (count_ + remaining >= capacity_) {
+            return Status::OutOfMemory(
+                "hash table cannot grow beyond 2^24 entries; increase radix "
+                "bits");
+          }
+          break;
+        }
+        SSAGG_RETURN_NOT_OK(Resize());
+        table = entries();
+        // The mask changed: every unresolved row restarts its probe.
+        for (idx_t i = 0; i < remaining; i++) {
+          const idx_t r = remaining_sel_[i];
+          ht_offsets_[r] = hashes[r] & mask_;
+        }
+      }
+    }
+
+    // Software-prefetch the entries this round will inspect; for a table
+    // past cache size this overlaps the dependent loads of the salt scan.
+    const idx_t *sel = remaining_sel_.data();
+    for (idx_t i = 0; i < remaining; i++) {
+      PrefetchRead(&table[ht_offsets_[sel[i]]]);
+    }
+    stats_.prefetches += remaining;
+
+    // Salt scan: advance each row to its first empty or salt-matching
+    // slot. Empty slots are claimed immediately (salt + tag) so duplicate
+    // new keys within the batch collapse: the second row of a duplicate
+    // pair salt-matches the claim and is routed to the compare pass.
+    new_group_sel_.Clear();
+    compare_sel_.Clear();
+    no_match_sel_.Clear();
+    for (idx_t i = 0; i < remaining; i++) {
+      const idx_t r = sel[i];
+      const uint16_t salt = salts_[r];
+      idx_t idx = ht_offsets_[r];
+      while (true) {
+        stats_.probe_steps++;
+        const uint64_t entry = table[idx];
+        if (entry == 0) {
+          SSAGG_ASSERT(count_ < capacity_);
+          table[idx] = MakeClaimedEntry(salt);
+          count_++;
+          new_group_sel_.Append(r);
+          break;
+        }
+        if (!use_salt || EntrySalt(entry) == salt) {
+          compare_sel_.Append(r);
+          break;
+        }
+        idx = (idx + 1) & mask_;
+      }
+      ht_offsets_[r] = idx;
+    }
+
+    // One batched, partition-aware append materializes every new group of
+    // the round (column-major -> row-major conversion happens here), then
+    // the claimed entries are backfilled with the row addresses.
+    if (!new_group_sel_.empty()) {
+      const idx_t new_count = new_group_sel_.size();
+      SSAGG_RETURN_NOT_OK(data_->Append(layout_chunk, hashes,
+                                        new_group_sel_.data(), new_count,
+                                        new_row_ptrs_.data()));
+      for (idx_t i = 0; i < new_count; i++) {
+        const idx_t r = new_group_sel_[i];
+        table[ht_offsets_[r]] = MakeEntry(new_row_ptrs_[i], salts_[r]);
+        row_ptrs_[r] = new_row_ptrs_[i];
+      }
+      stats_.inserts += new_count;
+    }
+
+    // Column-at-a-time key matching over the candidates. The candidate row
+    // pointers are gathered (and prefetched) first; gathering happens after
+    // the backfill so candidates that salt-matched a claim of this very
+    // round see the real row.
+    if (!compare_sel_.empty()) {
+      const idx_t compare_count = compare_sel_.size();
+      for (idx_t i = 0; i < compare_count; i++) {
+        const idx_t r = compare_sel_[i];
+        data_ptr_t row = EntryPointer(table[ht_offsets_[r]]);
+        row_ptrs_[r] = row;
+        PrefetchRead(row);
+      }
+      stats_.prefetches += compare_count;
+      row_matcher_.Match(layout_chunk, row_ptrs_.data(), compare_sel_,
+                         no_match_sel_);
+      stats_.key_compares += compare_count;
+      stats_.vectorized_compares += compare_count;
+      stats_.key_compare_misses += no_match_sel_.size();
+      // Matched rows are done (row_ptrs_ already points at their group);
+      // mismatches advance one slot and go into the next round.
+      for (idx_t i = 0; i < no_match_sel_.size(); i++) {
+        const idx_t r = no_match_sel_[i];
+        ht_offsets_[r] = (ht_offsets_[r] + 1) & mask_;
+      }
+    }
+    remaining_sel_.Swap(no_match_sel_);
   }
   return Status::OK();
 }
@@ -175,11 +338,11 @@ Status GroupedAggregateHashTable::AddChunk(const DataChunk &input) {
     CopyVectorShallow(input.column(row_layout_.group_columns[g]),
                       append_chunk_.column(g), count);
   }
-  auto *hash_values =
-      append_chunk_.column(row_layout_.hash_column).Values<int64_t>();
-  for (idx_t i = 0; i < count; i++) {
-    hash_values[i] = static_cast<int64_t>(hashes_[i]);
-  }
+  // hash_t and the layout's int64 hash column are bit-identical: one
+  // memcpy, no per-row conversion loop.
+  static_assert(sizeof(hash_t) == sizeof(int64_t));
+  std::memcpy(append_chunk_.column(row_layout_.hash_column).data(),
+              hashes_.data(), count * sizeof(hash_t));
   append_chunk_.column(row_layout_.hash_column).validity().Reset();
   for (const auto &agg : row_layout_.aggregates) {
     if (agg.sticky) {
@@ -238,14 +401,13 @@ Status GroupedAggregateHashTable::CombineSourceChunk(
   if (count == 0) {
     return Status::OK();
   }
-  // Hashes were materialized with the rows: no rehashing in phase 2.
-  const auto *hash_values =
-      layout_chunk.column(row_layout_.hash_column).Values<int64_t>();
-  for (idx_t i = 0; i < count; i++) {
-    hashes_[i] = static_cast<hash_t>(hash_values[i]);
-  }
-  SSAGG_RETURN_NOT_OK(FindOrCreateGroups(layout_chunk, hashes_.data(), 0,
-                                         count));
+  // Hashes were materialized with the rows: no rehashing in phase 2. The
+  // int64 hash column is bit-identical to hash_t, so it is probed in place
+  // through a reinterpreted pointer instead of a per-row copy loop.
+  static_assert(sizeof(hash_t) == sizeof(int64_t));
+  const auto *hashes = reinterpret_cast<const hash_t *>(
+      layout_chunk.column(row_layout_.hash_column).data());
+  SSAGG_RETURN_NOT_OK(FindOrCreateGroups(layout_chunk, hashes, 0, count));
   const idx_t aggr_offset = row_layout_.layout.AggregateOffset();
   for (const auto &agg : row_layout_.aggregates) {
     if (agg.sticky) {

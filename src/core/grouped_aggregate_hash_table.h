@@ -7,6 +7,7 @@
 #include "buffer/buffer_manager.h"
 #include "common/hash.h"
 #include "core/aggregate_row_layout.h"
+#include "core/row_matcher.h"
 #include "layout/partitioned_tuple_data.h"
 
 namespace ssagg {
@@ -37,6 +38,10 @@ class GroupedAggregateHashTable {
     bool resizable = false;
     /// Ablation knob: disable the salt comparison (always follow pointers).
     bool use_salt = true;
+    /// Ablation knob: process whole chunks through the round-based probe
+    /// pipeline (selection vectors, prefetch, column-at-a-time matching,
+    /// batched inserts). Off = the row-at-a-time reference path.
+    bool vectorized_probe = true;
     /// Fill ratio at which phase-1 tables report NeedsReset (and resizable
     /// tables grow). The paper determined 2/3 experimentally.
     double reset_fill_ratio = kHashTableResetFillRatio;
@@ -44,11 +49,16 @@ class GroupedAggregateHashTable {
 
   struct Stats {
     uint64_t probe_steps = 0;     // entry slots inspected
-    uint64_t key_compares = 0;    // full group-key comparisons
+    uint64_t key_compares = 0;    // candidate rows fully key-compared
     uint64_t key_compare_misses = 0;  // comparisons that did not match
     uint64_t inserts = 0;
     uint64_t resets = 0;
     uint64_t resizes = 0;
+    // Vectorized-probe pipeline counters.
+    uint64_t probe_rounds = 0;         // pipeline rounds over shrinking sels
+    uint64_t prefetches = 0;           // software prefetches issued
+    uint64_t vectorized_compares = 0;  // candidates matched column-at-a-time
+    uint64_t scalar_compares = 0;      // candidates matched row-at-a-time
   };
 
   /// Creates a hash table. `input_types` are the operator's input chunk
@@ -122,9 +132,28 @@ class GroupedAggregateHashTable {
   /// Probes rows [start, start + count) of `layout_chunk` (which must have
   /// exactly the layout's columns, with the hash column filled from
   /// `hashes`); inserts rows whose group is missing. Writes each row's
-  /// group-row address into `row_ptrs_`.
+  /// group-row address into `row_ptrs_`. Dispatches to the vectorized
+  /// pipeline or the scalar reference path per Config::vectorized_probe.
   Status FindOrCreateGroups(const DataChunk &layout_chunk,
                             const hash_t *hashes, idx_t start, idx_t count);
+
+  /// Row-at-a-time reference implementation (ablation / equivalence tests).
+  Status FindOrCreateGroupsScalar(const DataChunk &layout_chunk,
+                                  const hash_t *hashes, idx_t start,
+                                  idx_t count);
+
+  /// The vectorized probe pipeline. Each round over the shrinking set of
+  /// unresolved rows: (1) prefetch the probed entries; (2) a tight salt
+  /// scan that advances every row to its first empty (claimed) or
+  /// salt-matching slot, partitioning the rows into new-group and
+  /// match-candidate selections; (3) one batched, partition-aware append
+  /// of all new groups (intra-batch duplicate keys collapse via
+  /// claim-then-backfill); (4) a column-at-a-time key-match pass over the
+  /// candidates; mismatching rows advance one slot and stay for the next
+  /// round. The resize/budget guard runs once per round, not per row.
+  Status FindOrCreateGroupsVectorized(const DataChunk &layout_chunk,
+                                      const hash_t *hashes, idx_t start,
+                                      idx_t count);
 
   /// New groups a phase-1 (non-resizable) table can still take before
   /// reaching the reset threshold.
@@ -163,6 +192,17 @@ class GroupedAggregateHashTable {
   std::vector<data_ptr_t> row_ptrs_;
   std::vector<data_ptr_t> state_ptrs_;
   std::vector<idx_t> sel_scratch_;
+
+  // Vectorized-probe scratch (indexed by absolute chunk row, like
+  // row_ptrs_).
+  RowMatcher row_matcher_;
+  std::vector<idx_t> ht_offsets_;
+  std::vector<uint16_t> salts_;
+  std::vector<data_ptr_t> new_row_ptrs_;
+  SelectionVector remaining_sel_;
+  SelectionVector new_group_sel_;
+  SelectionVector compare_sel_;
+  SelectionVector no_match_sel_;
 
   Stats stats_;
 };

@@ -20,6 +20,7 @@ Result<std::unique_ptr<LocalSinkState>> PhysicalHashAggregate::InitLocal() {
   ht_config.radix_bits = config_.radix_bits;
   ht_config.resizable = false;
   ht_config.use_salt = config_.use_salt;
+  ht_config.vectorized_probe = config_.vectorized_probe;
   ht_config.reset_fill_ratio = config_.reset_fill_ratio;
   SSAGG_ASSIGN_OR_RETURN(
       state->ht,
@@ -66,6 +67,7 @@ Status PhysicalHashAggregate::EarlyCompactLocal(LocalState &local) {
     ht_config.radix_bits = 0;
     ht_config.resizable = true;
     ht_config.use_salt = config_.use_salt;
+    ht_config.vectorized_probe = config_.vectorized_probe;
     SSAGG_ASSIGN_OR_RETURN(
         auto compactor, GroupedAggregateHashTable::Create(
                             buffer_manager_, row_layout_, ht_config));
@@ -128,6 +130,7 @@ Status PhysicalHashAggregate::AggregatePartition(idx_t partition_idx,
   ht_config.radix_bits = 0;  // a phase-2 table is not repartitioned
   ht_config.resizable = true;
   ht_config.use_salt = config_.use_salt;
+  ht_config.vectorized_probe = config_.vectorized_probe;
   ht_config.reset_fill_ratio = config_.reset_fill_ratio;
   SSAGG_ASSIGN_OR_RETURN(
       auto ht, GroupedAggregateHashTable::Create(buffer_manager_, row_layout_,

@@ -23,6 +23,10 @@ struct HashAggregateConfig {
   /// Initial capacity of phase-2 (resizable) tables.
   idx_t phase2_initial_capacity = 1024;
   bool use_salt = true;
+  /// Ablation knob: route chunks through the vectorized probe pipeline
+  /// (selection vectors, prefetch, batched inserts) instead of the
+  /// row-at-a-time reference path.
+  bool vectorized_probe = true;
   double reset_fill_ratio = kHashTableResetFillRatio;
   /// Optional extension (paper Section IX, future work): when the memory
   /// limit is about to be exceeded during phase 1, a thread re-aggregates

@@ -14,19 +14,24 @@ Status PartitionedTupleData::Append(const DataChunk &input,
   scratch_pos_.resize(count);
   scratch_ptrs_.resize(count);
 
-  // Counting sort of the selected rows by partition.
-  std::vector<idx_t> counts(npart, 0);
+  // Counting sort of the selected rows by partition. The histogram arrays
+  // are members: this sits on the hash table's batched-insert hot path and
+  // must not allocate per call.
+  scratch_counts_.assign(npart, 0);
+  auto &counts = scratch_counts_;
   for (idx_t i = 0; i < count; i++) {
     idx_t r = sel ? sel[i] : i;
     counts[RadixPartition(hashes[r], radix_bits_)]++;
   }
-  std::vector<idx_t> offsets(npart, 0);
+  scratch_offsets_.resize(npart);
+  auto &offsets = scratch_offsets_;
   idx_t running = 0;
   for (idx_t p = 0; p < npart; p++) {
     offsets[p] = running;
     running += counts[p];
   }
-  std::vector<idx_t> cursor = offsets;
+  scratch_cursor_ = offsets;
+  auto &cursor = scratch_cursor_;
   for (idx_t i = 0; i < count; i++) {
     idx_t r = sel ? sel[i] : i;
     idx_t p = RadixPartition(hashes[r], radix_bits_);

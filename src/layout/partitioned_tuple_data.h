@@ -51,10 +51,13 @@ class PartitionedTupleData {
     return total;
   }
 
-  /// Appends `count` rows of `input` (selected by `sel`, or 0..count-1),
-  /// each routed to the partition given by its hash's radix bits. Row
-  /// addresses are written to `row_ptrs_out`, indexed like `sel`.
-  /// `hashes` is indexed by input row number.
+  /// Batched partition-aware append: appends `count` rows of `input`
+  /// (selected by `sel`, or 0..count-1), each routed to the partition given
+  /// by its hash's radix bits via one counting sort, with one AppendRows
+  /// call per touched partition. Row addresses are written to
+  /// `row_ptrs_out`, indexed like `sel` (per-row pointers are what the hash
+  /// table backfills into its claimed entries). `hashes` is indexed by
+  /// input row number. Allocation-free after the first call.
   Status Append(const DataChunk &input, const hash_t *hashes, const idx_t *sel,
                 idx_t count, data_ptr_t *row_ptrs_out);
 
@@ -104,10 +107,14 @@ class PartitionedTupleData {
   idx_t radix_bits_;
   std::vector<std::unique_ptr<TupleDataCollection>> partitions_;
   std::vector<TupleDataAppendState> states_;
-  // Scratch for Append.
+  // Scratch for Append (members so the hot batched-insert path does not
+  // allocate per call).
   std::vector<idx_t> scratch_sel_;
   std::vector<idx_t> scratch_pos_;
   std::vector<data_ptr_t> scratch_ptrs_;
+  std::vector<idx_t> scratch_counts_;
+  std::vector<idx_t> scratch_offsets_;
+  std::vector<idx_t> scratch_cursor_;
 };
 
 template <typename Fn>

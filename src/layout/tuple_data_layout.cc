@@ -18,9 +18,13 @@ void TupleDataLayout::Initialize(std::vector<LogicalTypeId> types,
       varsize_columns_.push_back(i);
     }
   }
-  aggr_offset_ = offset;
+  // Align the aggregate-state area to 8 bytes: states are accessed as
+  // typed structs (CountState etc.), and rows start at page offsets that
+  // are multiples of the 8-aligned row width, so an aligned aggr_offset_
+  // makes every state pointer properly aligned.
+  aggr_offset_ = (offset + 7) & ~idx_t(7);
   aggr_width_ = aggregate_state_width;
-  row_width_ = offset + aggregate_state_width;
+  row_width_ = aggr_offset_ + aggregate_state_width;
   // Align rows to 8 bytes so fixed-width slots are reasonably aligned.
   row_width_ = (row_width_ + 7) & ~idx_t(7);
   SSAGG_ASSERT(row_width_ <= kPageSize);

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <map>
+#include <optional>
 #include <string>
+#include <unordered_map>
 
 #include "common/file_system.h"
 #include "common/random.h"
@@ -42,6 +45,61 @@ GroupedAggregateHashTable::Config SmallConfig() {
   config.capacity = 1024;
   config.radix_bits = 2;
   return config;
+}
+
+/// Key of one group in test result maps: nullopt is the NULL group.
+using GroupKey = std::optional<int64_t>;
+
+/// Scans all partitions and accumulates finalized (sum, count) per group
+/// key, SUMMING across duplicate group rows (a reset materializes the same
+/// group again, so per-key totals are the meaningful invariant). The table
+/// must have been built with {kSum, 1} and {kCountStar} aggregates.
+std::map<GroupKey, std::pair<double, int64_t>> ScanSumCount(
+    GroupedAggregateHashTable &ht) {
+  std::map<GroupKey, std::pair<double, int64_t>> results;
+  DataChunk layout_chunk(ht.layout().Types());
+  DataChunk out(ht.OutputTypes());
+  std::vector<data_ptr_t> ptrs(kVectorSize);
+  for (idx_t p = 0; p < ht.data().PartitionCount(); p++) {
+    TupleDataScanState scan;
+    ht.data().partition(p).InitScan(scan);
+    while (true) {
+      auto more = ht.data().partition(p).Scan(scan, layout_chunk, ptrs.data());
+      EXPECT_TRUE(more.ok()) << more.status().ToString();
+      if (!more.ok() || !more.value()) {
+        break;
+      }
+      ht.FinalizeChunk(layout_chunk, ptrs.data(), out);
+      for (idx_t i = 0; i < out.size(); i++) {
+        GroupKey key;
+        if (out.column(0).validity().RowIsValid(i)) {
+          key = out.column(0).GetValue<int64_t>(i);
+        }
+        auto &slot = results[key];
+        slot.first += out.column(1).GetValue<double>(i);
+        slot.second += out.column(2).GetValue<int64_t>(i);
+      }
+    }
+  }
+  return results;
+}
+
+/// Finds two distinct int64 keys whose hashes agree on both the slot index
+/// (under `mask`) and the 16-bit salt: a forced salt collision that the
+/// probe can only resolve with a full key comparison.
+std::pair<int64_t, int64_t> FindSaltCollidingKeys(idx_t mask) {
+  std::unordered_map<uint64_t, int64_t> seen;
+  for (int64_t k = 0;; k++) {
+    uint64_t bits;
+    std::memcpy(&bits, &k, sizeof(k));
+    hash_t h = HashUint64(bits);
+    uint64_t signature = (h & mask) | (static_cast<uint64_t>(ExtractSalt(h))
+                                       << 32);
+    auto [it, inserted] = seen.emplace(signature, k);
+    if (!inserted) {
+      return {it->second, k};
+    }
+  }
 }
 
 TEST_F(AggregateHashTableTest, BasicSumCount) {
@@ -447,6 +505,280 @@ TEST_F(AggregateHashTableTest, LargeRandomAggregationMatchesReference) {
     }
   }
   EXPECT_EQ(seen, reference.size());
+}
+
+// --- Vectorized-probe edge cases ---------------------------------------
+
+// Duplicate brand-new keys within ONE chunk must collapse to one group:
+// the claim-then-backfill insert routes the second occurrence of a key
+// through the compare pass of the same round.
+TEST_F(AggregateHashTableTest, DuplicateNewKeysWithinOneChunk) {
+  BufferManager bm(temp_dir_, 256 * kPageSize);
+  auto ht = GroupedAggregateHashTable::Create(
+                bm, InputTypes(), {0},
+                {{AggregateKind::kSum, 1},
+                 {AggregateKind::kCountStar, kInvalidIndex}},
+                SmallConfig())
+                .MoveValue();
+  DataChunk input(InputTypes());
+  std::vector<int64_t> keys(kVectorSize);
+  std::vector<double> vals(kVectorSize);
+  for (idx_t i = 0; i < kVectorSize; i++) {
+    keys[i] = static_cast<int64_t>(i % 4);  // 4 new keys, each repeated 512x
+    vals[i] = 1.0;
+  }
+  FillInput(input, keys, vals);
+  ASSERT_TRUE(ht->AddChunk(input).ok());
+  EXPECT_EQ(ht->Count(), 4u);
+  EXPECT_EQ(ht->data().Count(), 4u);  // no duplicate materialization
+  auto results = ScanSumCount(*ht);
+  ASSERT_EQ(results.size(), 4u);
+  for (auto &[key, sum_count] : results) {
+    EXPECT_DOUBLE_EQ(sum_count.first, 512.0);
+    EXPECT_EQ(sum_count.second, 512);
+  }
+}
+
+// Two different keys with identical slot index AND identical salt: the
+// salt check cannot tell them apart, so only the full key comparison
+// (hash-prefix pass first) keeps them in separate groups.
+TEST_F(AggregateHashTableTest, SaltCollisionWithDifferingKeys) {
+  BufferManager bm(temp_dir_, 256 * kPageSize);
+  auto config = SmallConfig();
+  auto [k1, k2] = FindSaltCollidingKeys(config.capacity - 1);
+  ASSERT_NE(k1, k2);
+  auto ht = GroupedAggregateHashTable::Create(
+                bm, InputTypes(), {0},
+                {{AggregateKind::kSum, 1},
+                 {AggregateKind::kCountStar, kInvalidIndex}},
+                config)
+                .MoveValue();
+  DataChunk input(InputTypes());
+  // Interleaved occurrences of both keys in one chunk: k1 inserts, k2
+  // salt-matches k1's entry, fails the key compare, advances, inserts.
+  FillInput(input, {k1, k2, k1, k2, k2, k1}, {1, 10, 2, 20, 30, 3});
+  ASSERT_TRUE(ht->AddChunk(input).ok());
+  EXPECT_EQ(ht->Count(), 2u);
+  EXPECT_GE(ht->stats().key_compare_misses, 1u);
+  auto results = ScanSumCount(*ht);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_DOUBLE_EQ(results[k1].first, 6.0);
+  EXPECT_EQ(results[k1].second, 3);
+  EXPECT_DOUBLE_EQ(results[k2].first, 60.0);
+  EXPECT_EQ(results[k2].second, 3);
+}
+
+// NULL group keys inside a batch with duplicates: all NULLs are one group,
+// and NULL never matches a non-NULL key even on a hash collision.
+TEST_F(AggregateHashTableTest, NullGroupKeysInVectorizedBatch) {
+  BufferManager bm(temp_dir_, 256 * kPageSize);
+  auto ht = GroupedAggregateHashTable::Create(
+                bm, InputTypes(), {0},
+                {{AggregateKind::kSum, 1},
+                 {AggregateKind::kCountStar, kInvalidIndex}},
+                SmallConfig())
+                .MoveValue();
+  DataChunk input(InputTypes());
+  std::vector<int64_t> keys(kVectorSize);
+  std::vector<double> vals(kVectorSize);
+  for (idx_t i = 0; i < kVectorSize; i++) {
+    keys[i] = static_cast<int64_t>(i % 8);
+    vals[i] = 1.0;
+  }
+  FillInput(input, keys, vals);
+  std::map<GroupKey, std::pair<double, int64_t>> reference;
+  for (idx_t i = 0; i < kVectorSize; i++) {
+    GroupKey key;
+    if (i % 5 == 0) {
+      input.column(0).validity().SetInvalid(i);  // every 5th row is NULL
+    } else {
+      key = keys[i];
+    }
+    auto &slot = reference[key];
+    slot.first += vals[i];
+    slot.second++;
+  }
+  ASSERT_TRUE(ht->AddChunk(input).ok());
+  EXPECT_EQ(ht->Count(), 9u);  // 8 int keys + the NULL group
+  EXPECT_EQ(ScanSumCount(*ht), reference);
+}
+
+// A fixed-size phase-1 table resets its pointer table MID-chunk once the
+// reset budget is exhausted; rows after the reset re-materialize already
+// seen groups, but per-key totals must still be exact.
+TEST_F(AggregateHashTableTest, MidChunkPointerTableResetWithDuplicates) {
+  BufferManager bm(temp_dir_, 256 * kPageSize);
+  auto config = SmallConfig();
+  config.capacity = 256;  // reset threshold ~170 < 300 distinct keys
+  auto ht = GroupedAggregateHashTable::Create(
+                bm, InputTypes(), {0},
+                {{AggregateKind::kSum, 1},
+                 {AggregateKind::kCountStar, kInvalidIndex}},
+                config)
+                .MoveValue();
+  DataChunk input(InputTypes());
+  std::vector<int64_t> keys(kVectorSize);
+  std::vector<double> vals(kVectorSize);
+  std::map<GroupKey, std::pair<double, int64_t>> reference;
+  for (idx_t i = 0; i < kVectorSize; i++) {
+    keys[i] = static_cast<int64_t>(i % 300);
+    vals[i] = static_cast<double>(i);
+    auto &slot = reference[keys[i]];
+    slot.first += vals[i];
+    slot.second++;
+  }
+  FillInput(input, keys, vals);
+  ASSERT_TRUE(ht->AddChunk(input).ok());
+  EXPECT_GE(ht->stats().resets, 1u);
+  EXPECT_GT(ht->data().Count(), 300u);  // duplicated groups across the reset
+  EXPECT_EQ(ScanSumCount(*ht), reference);
+}
+
+// The scalar row-at-a-time path and the vectorized pipeline must produce
+// bit-identical aggregation results over randomized chunks — including
+// NULL keys, mid-stream resets (non-resizable) and resizes (resizable).
+TEST_F(AggregateHashTableTest, ScalarVsVectorizedEquivalenceRandomized) {
+  for (bool resizable : {false, true}) {
+    BufferManager bm(temp_dir_, 1024 * kPageSize);
+    auto make_ht = [&](bool vectorized) {
+      auto config = SmallConfig();
+      config.capacity = resizable ? 64 : 256;
+      config.resizable = resizable;
+      config.vectorized_probe = vectorized;
+      return GroupedAggregateHashTable::Create(
+                 bm, InputTypes(), {0},
+                 {{AggregateKind::kSum, 1},
+                  {AggregateKind::kCountStar, kInvalidIndex}},
+                 config)
+          .MoveValue();
+    };
+    auto scalar_ht = make_ht(false);
+    auto vector_ht = make_ht(true);
+    RandomEngine rng(99);
+    std::map<GroupKey, std::pair<double, int64_t>> reference;
+    DataChunk input(InputTypes());
+    for (int c = 0; c < 12; c++) {
+      std::vector<int64_t> keys(kVectorSize);
+      std::vector<double> vals(kVectorSize);
+      for (idx_t i = 0; i < kVectorSize; i++) {
+        keys[i] = static_cast<int64_t>(rng.NextRange(400));
+        vals[i] = static_cast<double>(rng.NextRange(1000));
+      }
+      input.Reset();  // clear the previous iteration's NULL marks
+      FillInput(input, keys, vals);
+      for (idx_t i = 0; i < kVectorSize; i++) {
+        if (rng.NextRange(16) == 0) {
+          input.column(0).validity().SetInvalid(i);
+        }
+      }
+      for (idx_t i = 0; i < kVectorSize; i++) {
+        const bool valid = input.column(0).validity().RowIsValid(i);
+        auto &slot = reference[valid ? GroupKey{keys[i]} : GroupKey{}];
+        slot.first += vals[i];
+        slot.second++;
+      }
+      ASSERT_TRUE(scalar_ht->AddChunk(input).ok());
+      ASSERT_TRUE(vector_ht->AddChunk(input).ok());
+      if (!resizable && scalar_ht->NeedsReset()) {
+        scalar_ht->ClearPointerTable();
+      }
+      if (!resizable && vector_ht->NeedsReset()) {
+        vector_ht->ClearPointerTable();
+      }
+    }
+    // The two paths discover groups in the same order: identical counts,
+    // identical materialized rows, and each used only its own compare kind.
+    EXPECT_EQ(scalar_ht->Count(), vector_ht->Count());
+    EXPECT_EQ(scalar_ht->data().Count(), vector_ht->data().Count());
+    EXPECT_EQ(scalar_ht->stats().inserts, vector_ht->stats().inserts);
+    EXPECT_EQ(scalar_ht->stats().vectorized_compares, 0u);
+    EXPECT_EQ(vector_ht->stats().scalar_compares, 0u);
+    EXPECT_GT(vector_ht->stats().probe_rounds, 0u);
+    auto scalar_results = ScanSumCount(*scalar_ht);
+    EXPECT_EQ(scalar_results, ScanSumCount(*vector_ht));
+    EXPECT_EQ(scalar_results, reference);
+  }
+}
+
+// Equivalence on the phase-2 path: merging materialized source rows via
+// CombineSourceChunk must agree between the scalar and vectorized probes.
+TEST_F(AggregateHashTableTest, ScalarVsVectorizedCombineEquivalence) {
+  BufferManager bm(temp_dir_, 1024 * kPageSize);
+  auto make_source = [&]() {
+    auto config = SmallConfig();
+    config.capacity = 256;
+    return GroupedAggregateHashTable::Create(
+               bm, InputTypes(), {0},
+               {{AggregateKind::kSum, 1},
+                {AggregateKind::kCountStar, kInvalidIndex}},
+               config)
+        .MoveValue();
+  };
+  auto make_target = [&](bool vectorized) {
+    auto config = SmallConfig();
+    config.capacity = 64;
+    config.resizable = true;
+    config.vectorized_probe = vectorized;
+    return GroupedAggregateHashTable::Create(
+               bm, InputTypes(), {0},
+               {{AggregateKind::kSum, 1},
+                {AggregateKind::kCountStar, kInvalidIndex}},
+               config)
+        .MoveValue();
+  };
+  // Sources with overlapping keys and forced resets (duplicated groups in
+  // the materialized data, the phase-2 input shape).
+  auto src1 = make_source();
+  auto src2 = make_source();
+  RandomEngine rng(1234);
+  DataChunk input(InputTypes());
+  for (int c = 0; c < 4; c++) {
+    std::vector<int64_t> keys(kVectorSize);
+    std::vector<double> vals(kVectorSize);
+    for (idx_t i = 0; i < kVectorSize; i++) {
+      keys[i] = static_cast<int64_t>(rng.NextRange(500));
+      vals[i] = static_cast<double>(rng.NextRange(100));
+    }
+    FillInput(input, keys, vals);
+    auto &src = (c % 2 == 0) ? src1 : src2;
+    ASSERT_TRUE(src->AddChunk(input).ok());
+    if (src->NeedsReset()) {
+      src->ClearPointerTable();
+    }
+  }
+  auto scalar_target = make_target(false);
+  auto vector_target = make_target(true);
+  DataChunk layout_chunk(src1->layout().Types());
+  std::vector<data_ptr_t> ptrs(kVectorSize);
+  for (auto *src : {src1.get(), src2.get()}) {
+    for (idx_t p = 0; p < src->data().PartitionCount(); p++) {
+      for (auto *target : {scalar_target.get(), vector_target.get()}) {
+        TupleDataScanState scan;
+        src->data().partition(p).InitScan(scan);
+        while (true) {
+          auto more =
+              src->data().partition(p).Scan(scan, layout_chunk, ptrs.data());
+          ASSERT_TRUE(more.ok());
+          if (!more.value()) {
+            break;
+          }
+          ASSERT_TRUE(
+              target->CombineSourceChunk(layout_chunk, ptrs.data()).ok());
+        }
+      }
+    }
+  }
+  EXPECT_EQ(scalar_target->Count(), vector_target->Count());
+  auto scalar_results = ScanSumCount(*scalar_target);
+  EXPECT_EQ(scalar_results, ScanSumCount(*vector_target));
+  // Cross-check against the direct phase-1 totals.
+  auto direct = ScanSumCount(*src1);
+  for (auto &[key, sum_count] : ScanSumCount(*src2)) {
+    auto &slot = direct[key];
+    slot.first += sum_count.first;
+    slot.second += sum_count.second;
+  }
+  EXPECT_EQ(scalar_results, direct);
 }
 
 }  // namespace
