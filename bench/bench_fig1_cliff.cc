@@ -42,6 +42,7 @@ int main() {
   const SystemKind strategies[3] = {SystemKind::kUmbra, SystemKind::kHyPer,
                                     SystemKind::kRobust};
   char failed[3] = {0, 0, 0};
+  Json points = Json::Array();
   for (idx_t sf : scale_factors) {
     tpch::LineitemGenerator gen(static_cast<double>(sf));
     std::vector<std::string> cells = {std::to_string(sf),
@@ -76,11 +77,26 @@ int main() {
     }
     PrintRow(cells, widths);
     std::fflush(stdout);
+
+    Json point = Json::Object();
+    point.Set("sf", Json(static_cast<uint64_t>(sf)));
+    point.Set("rows", Json(static_cast<uint64_t>(gen.RowCount())));
+    Json systems = Json::Object();
+    for (int s = 0; s < 3; s++) {
+      systems.Set(SystemShortName(strategies[s]), results[s].ToJson());
+    }
+    point.Set("systems", std::move(systems));
+    points.Push(std::move(point));
   }
   PrintRule(widths);
   std::printf("\n'x mem' > 1 means the intermediates exceeded the limit and "
               "pages spilled. Expected\nshape: in-memory aborts there, "
               "switching jumps discontinuously, robust degrades\n"
               "gracefully (paper Figure 1).\n");
+  Json payload = Json::Object();
+  payload.Set("grouping", Json(grouping.Name()));
+  payload.Set("wide", Json(true));
+  payload.Set("points", std::move(points));
+  WriteResultsJson("bench_fig1_cliff", options, std::move(payload));
   return 0;
 }

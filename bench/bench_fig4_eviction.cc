@@ -177,6 +177,7 @@ int main() {
   const EvictionPolicy policies[3] = {EvictionPolicy::kMixed,
                                       EvictionPolicy::kTemporaryFirst,
                                       EvictionPolicy::kPersistentFirst};
+  Json scenarios = Json::Array();
   for (auto [connections, label] :
        {std::pair<idx_t, const char *>{1, "single connection"},
         std::pair<idx_t, const char *>{4, "four connections"}}) {
@@ -189,6 +190,10 @@ int main() {
               "reloads"},
              widths);
     PrintRule(widths);
+    Json scenario = Json::Object();
+    scenario.Set("connections", Json(static_cast<uint64_t>(connections)));
+    scenario.Set("memory_limit", Json(static_cast<uint64_t>(scenario_limit)));
+    Json by_policy = Json::Object();
     for (auto policy : policies) {
       BufferManager bm(options.temp_dir, scenario_limit, policy);
       // Fresh block-handle cache per run lives in the table; persistent
@@ -196,6 +201,14 @@ int main() {
       auto result = RunScenario(table, stored_query, policy, connections,
                                 repetitions, options, bm);
       table.ReleaseHandleCache(bm);
+      Json entry = Json::Object();
+      entry.Set("ok", Json(result.ok));
+      entry.Set("seconds", Json(result.seconds));
+      entry.Set("snapshot", SnapshotJson(result.snapshot));
+      if (!result.ok) {
+        entry.Set("error", Json(result.error));
+      }
+      by_policy.Set(PolicyName(policy), std::move(entry));
       if (!result.ok) {
         PrintRow({PolicyName(policy), "FAIL", result.error, "", "", ""},
                  widths);
@@ -211,6 +224,8 @@ int main() {
                widths);
       std::fflush(stdout);
     }
+    scenario.Set("policies", std::move(by_policy));
+    scenarios.Push(std::move(scenario));
     PrintRule(widths);
     std::printf("\n");
   }
@@ -220,6 +235,13 @@ int main() {
               "the order flips — evicting all persistent data makes every "
               "scan hit\nstorage and throughput collapses (thrashing), so "
               "TemporaryFirst wins and Mixed is\na decent compromise.\n");
+  Json payload = Json::Object();
+  payload.Set("sf", Json(static_cast<uint64_t>(sf)));
+  payload.Set("repetitions", Json(static_cast<uint64_t>(repetitions)));
+  payload.Set("materialized_bytes",
+              Json(static_cast<uint64_t>(materialized_bytes)));
+  payload.Set("scenarios", std::move(scenarios));
+  WriteResultsJson("bench_fig4_eviction", options, std::move(payload));
   (void)FileSystem::RemoveFile(db_path);
   return 0;
 }

@@ -130,26 +130,22 @@ struct ConfigRecord {
   RunResult vectorized;
 };
 
-void WriteJsonRun(std::FILE *f, const char *name, const RunResult &r) {
+Json RunJson(const RunResult &r) {
   const auto &s = r.stats;
-  std::fprintf(
-      f,
-      "      \"%s\": {\"seconds\": %.6f, \"rows_per_sec\": %.1f, "
-      "\"groups\": %llu, \"probe_steps\": %llu, \"probe_rounds\": %llu, "
-      "\"prefetches\": %llu, \"key_compares\": %llu, "
-      "\"key_compare_misses\": %llu, \"vectorized_compares\": %llu, "
-      "\"scalar_compares\": %llu, \"inserts\": %llu, \"resizes\": %llu}",
-      name, r.seconds, r.rows_per_sec,
-      static_cast<unsigned long long>(r.groups),
-      static_cast<unsigned long long>(s.probe_steps),
-      static_cast<unsigned long long>(s.probe_rounds),
-      static_cast<unsigned long long>(s.prefetches),
-      static_cast<unsigned long long>(s.key_compares),
-      static_cast<unsigned long long>(s.key_compare_misses),
-      static_cast<unsigned long long>(s.vectorized_compares),
-      static_cast<unsigned long long>(s.scalar_compares),
-      static_cast<unsigned long long>(s.inserts),
-      static_cast<unsigned long long>(s.resizes));
+  Json object = Json::Object();
+  object.Set("seconds", Json(r.seconds));
+  object.Set("rows_per_sec", Json(r.rows_per_sec));
+  object.Set("groups", Json(static_cast<uint64_t>(r.groups)));
+  object.Set("probe_steps", Json(s.probe_steps));
+  object.Set("probe_rounds", Json(s.probe_rounds));
+  object.Set("prefetches", Json(s.prefetches));
+  object.Set("key_compares", Json(s.key_compares));
+  object.Set("key_compare_misses", Json(s.key_compare_misses));
+  object.Set("vectorized_compares", Json(s.vectorized_compares));
+  object.Set("scalar_compares", Json(s.scalar_compares));
+  object.Set("inserts", Json(s.inserts));
+  object.Set("resizes", Json(s.resizes));
+  return object;
 }
 
 }  // namespace
@@ -208,33 +204,27 @@ int main() {
               "scalar path reports\nscalar_compares only (see the JSON for "
               "every counter of both runs).\n");
 
-  (void)FileSystem::CreateDirectories("results");
-  std::FILE *f = std::fopen("results/bench_probe.json", "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write results/bench_probe.json\n");
-    return 1;
-  }
-  std::fprintf(f, "{\n  \"bench\": \"bench_probe\",\n"
-               "  \"vector_size\": %llu,\n  \"configs\": [\n",
-               static_cast<unsigned long long>(kVectorSize));
-  for (idx_t i = 0; i < records.size(); i++) {
-    const auto &r = records[i];
+  Json configs = Json::Array();
+  for (const auto &r : records) {
     double speedup =
         r.scalar.rows_per_sec > 0
             ? r.vectorized.rows_per_sec / r.scalar.rows_per_sec
             : 0;
-    std::fprintf(f,
-                 "    {\"distribution\": \"%s\", \"groups\": %llu, "
-                 "\"rows\": %llu, \"speedup\": %.3f,\n",
-                 r.distribution, static_cast<unsigned long long>(r.groups),
-                 static_cast<unsigned long long>(r.rows), speedup);
-    WriteJsonRun(f, "scalar", r.scalar);
-    std::fprintf(f, ",\n");
-    WriteJsonRun(f, "vectorized", r.vectorized);
-    std::fprintf(f, "\n    }%s\n", i + 1 < records.size() ? "," : "");
+    Json config = Json::Object();
+    config.Set("distribution", Json(r.distribution));
+    config.Set("groups", Json(static_cast<uint64_t>(r.groups)));
+    config.Set("rows", Json(static_cast<uint64_t>(r.rows)));
+    config.Set("speedup", Json(speedup));
+    config.Set("scalar", RunJson(r.scalar));
+    config.Set("vectorized", RunJson(r.vectorized));
+    configs.Push(std::move(config));
   }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("wrote results/bench_probe.json\n");
-  return 0;
+  Json payload = Json::Object();
+  payload.Set("vector_size", Json(static_cast<uint64_t>(kVectorSize)));
+  payload.Set("configs", std::move(configs));
+  return WriteResultsJson("bench_probe", BenchOptions::FromEnv(),
+                          std::move(payload))
+                 .empty()
+             ? 1
+             : 0;
 }

@@ -61,5 +61,12 @@ int main(int argc, char **argv) {
                   result.snapshot.evicted_persistent_count),
               static_cast<unsigned long long>(result.snapshot.temp_writes),
               static_cast<unsigned long long>(result.snapshot.temp_reads));
+  Json payload = Json::Object();
+  payload.Set("scale_factor", Json(sf));
+  payload.Set("wide", Json(wide));
+  payload.Set("grouping", Json(grouping.Name()));
+  payload.Set("system", Json(SystemShortName(system)));
+  payload.Set("result", result.ToJson());
+  WriteResultsJson("bench_single_query", options, std::move(payload));
   return result.ok() ? 0 : 2;
 }

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/file_system.h"
+
 namespace ssagg {
 namespace bench {
 
@@ -35,6 +37,20 @@ BenchOptions BenchOptions::FromEnv() {
   options.phase1_capacity =
       EnvIdx("SSAGG_BENCH_PHASE1_CAPACITY", options.phase1_capacity);
   return options;
+}
+
+Json BenchOptions::ToJson() const {
+  Json object = Json::Object();
+  object.Set("threads", Json(static_cast<uint64_t>(threads)));
+  object.Set("timeout_seconds", Json(timeout_seconds));
+  object.Set("memory_limit", Json(static_cast<uint64_t>(memory_limit)));
+  object.Set("scale_cap", Json(static_cast<uint64_t>(scale_cap)));
+  object.Set("runs", Json(static_cast<uint64_t>(runs)));
+  object.Set("temp_dir", Json(temp_dir));
+  object.Set("radix_bits", Json(static_cast<uint64_t>(radix_bits)));
+  object.Set("phase1_capacity",
+             Json(static_cast<uint64_t>(phase1_capacity)));
+  return object;
 }
 
 const char *SystemName(SystemKind kind) {
@@ -82,6 +98,69 @@ std::string QueryResult::Cell() const {
   return buffer;
 }
 
+Json SnapshotJson(const BufferManagerSnapshot &snapshot) {
+  Json object = Json::Object();
+  auto set = [&](const char *key, idx_t value) {
+    object.Set(key, Json(static_cast<uint64_t>(value)));
+  };
+  set("memory_used", snapshot.memory_used);
+  set("memory_limit", snapshot.memory_limit);
+  set("persistent_bytes_in_memory", snapshot.persistent_bytes_in_memory);
+  set("temporary_bytes_in_memory", snapshot.temporary_bytes_in_memory);
+  set("non_paged_bytes", snapshot.non_paged_bytes);
+  set("temp_file_size", snapshot.temp_file_size);
+  set("temp_file_peak", snapshot.temp_file_peak);
+  set("evicted_persistent_count", snapshot.evicted_persistent_count);
+  set("evicted_temporary_count", snapshot.evicted_temporary_count);
+  set("reused_buffers", snapshot.reused_buffers);
+  set("temp_writes", snapshot.temp_writes);
+  set("temp_reads", snapshot.temp_reads);
+  set("spill_bytes_written", snapshot.spill_bytes_written);
+  set("spill_bytes_read", snapshot.spill_bytes_read);
+  object.Set("spill_write_seconds", Json(snapshot.spill_write_seconds));
+  object.Set("spill_read_seconds", Json(snapshot.spill_read_seconds));
+  set("spill_slot_reuses", snapshot.spill_slot_reuses);
+  set("spill_variable_files", snapshot.spill_variable_files);
+  set("oom_rejections", snapshot.oom_rejections);
+  return object;
+}
+
+Json QueryResult::ToJson() const {
+  Json object = Json::Object();
+  object.Set("seconds", Json(seconds));
+  object.Set("tag", Json(std::string(1, tag)));
+  object.Set("result_rows", Json(static_cast<uint64_t>(result_rows)));
+  if (skipped) {
+    object.Set("skipped", Json(true));
+  }
+  object.Set("snapshot", SnapshotJson(snapshot));
+  object.Set("profile", profile.ToJson());
+  return object;
+}
+
+std::string WriteResultsJson(const std::string &bench_name,
+                             const BenchOptions &options, Json payload) {
+  Json document = Json::Object();
+  document.Set("bench", Json(bench_name));
+  document.Set("options", options.ToJson());
+  for (const auto &member : payload.members()) {
+    document.Set(member.first, member.second);
+  }
+  Status status = FileSystem::CreateDirectories("results");
+  std::string path = "results/" + bench_name + ".json";
+  std::FILE *f = status.ok() ? std::fopen(path.c_str(), "w") : nullptr;
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return "";
+  }
+  std::string text = document.Dump(2);
+  text.push_back('\n');
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return path;
+}
+
 namespace {
 
 char TagFromStatus(const Status &status) {
@@ -107,14 +186,21 @@ QueryResult RunOnce(SystemKind system, const tpch::LineitemGenerator &gen,
   auto source = gen.MakeSource(query.projection);
   CountingCollector collector;
 
+  // Attribute registry growth to this query for every system model; the
+  // robust path gets the richer profile from RunGroupedAggregation itself.
+  RegistryDelta delta;
+  bool profile_filled = false;
+
   auto start = std::chrono::steady_clock::now();
   Status status;
   switch (system) {
     case SystemKind::kRobust: {
       auto stats = RunGroupedAggregation(bm, *source, query.group_columns,
                                          query.aggregates, collector,
-                                         executor, options.AggConfig());
+                                         executor, options.AggConfig(),
+                                         &result.profile);
       status = stats.ok() ? Status::OK() : stats.status();
+      profile_filled = true;
       break;
     }
     case SystemKind::kUmbra: {
@@ -150,6 +236,16 @@ QueryResult RunOnce(SystemKind system, const tpch::LineitemGenerator &gen,
   result.tag = TagFromStatus(status);
   result.result_rows = collector.TotalRows();
   result.snapshot = bm.Snapshot();
+  if (!profile_filled) {
+    result.profile.threads = executor.num_threads();
+    result.profile.total_seconds = result.seconds;
+    delta.AddTo(result.profile);
+    const ExecutorStats &exec = executor.stats();
+    result.profile.AddTiming("exec.worker_seconds", exec.worker_seconds);
+    result.profile.AddTiming("exec.source_seconds", exec.source_seconds);
+    result.profile.AddTiming("exec.sink_seconds", exec.sink_seconds);
+    result.profile.AddTiming("exec.combine_seconds", exec.combine_seconds);
+  }
   return result;
 }
 
@@ -163,6 +259,8 @@ QueryResult RunGroupingQuery(SystemKind system,
   QueryResult best;
   for (idx_t run = 0; run < options.runs; run++) {
     QueryResult r = RunOnce(system, generator, query, options);
+    r.profile.query = std::string(SystemShortName(system)) + ":" +
+                      grouping.Name() + (wide ? "/wide" : "/narrow");
     if (run == 0 || (r.ok() && r.seconds < best.seconds)) {
       best = r;
     }

@@ -38,6 +38,10 @@ struct BenchOptions {
   /// Reads SSAGG_BENCH_THREADS, SSAGG_BENCH_TIMEOUT, SSAGG_BENCH_MEMORY_MB,
   /// SSAGG_BENCH_SF_CAP, SSAGG_BENCH_RUNS, SSAGG_BENCH_TMPDIR.
   static BenchOptions FromEnv();
+
+  /// The options as a JSON object (embedded in every results file, so a
+  /// diff between two runs shows configuration drift).
+  Json ToJson() const;
 };
 
 /// The four systems of the paper's evaluation (Section VIII), as
@@ -60,10 +64,15 @@ struct QueryResult {
   idx_t result_rows = 0;
   bool skipped = false;  // propagated failure from a smaller scale factor
   BufferManagerSnapshot snapshot;
+  /// Per-query observability snapshot (phase timings + "agg.*"/"exec.*"/
+  /// "bm.*"/"io.*" counters); filled by RunGroupingQuery for every system.
+  QueryProfile profile;
 
   bool ok() const { return tag == ' ' && !skipped; }
   /// "0.42" / "A" / "T" — the paper's table cell format.
   std::string Cell() const;
+  /// {"seconds", "tag", "result_rows", "snapshot", "profile"}.
+  Json ToJson() const;
 };
 
 /// Runs one Table I grouping on one system at one scale factor, with a
@@ -86,6 +95,19 @@ void PrintRow(const std::vector<std::string> &cells,
 
 /// Bytes -> "123.4 MiB" style.
 std::string FormatBytes(idx_t bytes);
+
+/// Flat JSON object view of a buffer-manager snapshot.
+Json SnapshotJson(const BufferManagerSnapshot &snapshot);
+
+/// Writes the uniform bench results file, results/<bench_name>.json:
+///
+///   { "bench": <name>, "options": {...}, ...payload members... }
+///
+/// `payload` must be a JSON object; its members land at the top level next
+/// to the envelope fields. Creates results/ if needed; returns the path
+/// written, or "" on failure (after printing a diagnostic).
+std::string WriteResultsJson(const std::string &bench_name,
+                             const BenchOptions &options, Json payload);
 
 }  // namespace bench
 }  // namespace ssagg

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Diff two bench result files (results/<bench>.json).
+
+Usage: scripts/bench_report.py OLD.json NEW.json [--threshold PCT]
+
+Walks both documents, pairs every numeric leaf by its JSON path, and prints
+the ones that moved by more than --threshold percent (default 2), plus any
+path present on only one side. Exit code 0 always — the report is
+informational; gate on it in review, not in CI.
+
+Works on any file bench::WriteResultsJson produces: the envelope is
+{"bench", "options", ...payload...} and QueryProfile counters are flat
+dotted keys, so paths line up mechanically between runs of the same bench.
+"""
+
+import argparse
+import json
+import sys
+
+
+def numeric_leaves(node, path, out):
+    """Flattens node into {path: float} for every numeric leaf."""
+    if isinstance(node, bool):
+        return
+    if isinstance(node, (int, float)):
+        out[path] = float(node)
+    elif isinstance(node, dict):
+        for key, value in node.items():
+            numeric_leaves(value, f"{path}.{key}" if path else key, out)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            numeric_leaves(value, f"{path}[{i}]", out)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old")
+    parser.add_argument("new")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="report changes above this percentage")
+    args = parser.parse_args()
+
+    try:
+        with open(args.old) as f:
+            old_doc = json.load(f)
+        with open(args.new) as f:
+            new_doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"bench_report: {exc}", file=sys.stderr)
+        return 1
+
+    old_vals, new_vals = {}, {}
+    numeric_leaves(old_doc, "", old_vals)
+    numeric_leaves(new_doc, "", new_vals)
+
+    changed = []
+    for path in sorted(old_vals.keys() & new_vals.keys()):
+        old_v, new_v = old_vals[path], new_vals[path]
+        if old_v == new_v:
+            continue
+        if old_v == 0:
+            pct = float("inf")
+        else:
+            pct = (new_v - old_v) / abs(old_v) * 100
+        if abs(pct) >= args.threshold:
+            changed.append((path, old_v, new_v, pct))
+
+    only_old = sorted(old_vals.keys() - new_vals.keys())
+    only_new = sorted(new_vals.keys() - old_vals.keys())
+
+    bench = new_doc.get("bench", "?")
+    print(f"bench: {bench}   {args.old} -> {args.new}   "
+          f"threshold {args.threshold:g}%")
+    if not changed and not only_old and not only_new:
+        print("no differences above threshold")
+        return 0
+    if changed:
+        width = max(len(p) for p, *_ in changed)
+        print(f"\n{len(changed)} changed value(s):")
+        for path, old_v, new_v, pct in sorted(
+                changed, key=lambda c: -abs(c[3])):
+            arrow = "+" if pct >= 0 else ""
+            pct_text = f"{arrow}{pct:.1f}%" if pct != float("inf") else "new"
+            print(f"  {path:<{width}}  {old_v:>14g} -> {new_v:>14g}  "
+                  f"({pct_text})")
+    for label, paths in (("only in old", only_old), ("only in new",
+                                                     only_new)):
+        if paths:
+            print(f"\n{len(paths)} path(s) {label}:")
+            for path in paths[:20]:
+                print(f"  {path}")
+            if len(paths) > 20:
+                print(f"  ... and {len(paths) - 20} more")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

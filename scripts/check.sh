@@ -4,6 +4,10 @@
 # The batched-append and pointer-recomputation code paths are exactly where
 # the sanitizers earn their keep.
 #
+# The plain build additionally runs a profile smoke step: a memory-limited
+# (spilling) query with SSAGG_TRACE on, asserting that the emitted profile
+# saw real spill I/O and that the trace's spans are balanced per thread.
+#
 # Usage: scripts/check.sh [--asan-only|--plain-only]
 set -euo pipefail
 
@@ -18,9 +22,58 @@ run_build() {
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
 }
 
+profile_smoke() {
+  local dir="$1"
+  echo "=== profile smoke (spilling query + trace) ==="
+  local work
+  work=$(mktemp -d)
+  # SF 16 wide grouping 13 (all-unique groups) at 64 MiB must spill.
+  (cd "$work" && SSAGG_BENCH_MEMORY_MB=64 SSAGG_BENCH_THREADS=2 \
+      SSAGG_BENCH_TMPDIR="$work/tmp" SSAGG_TRACE="$work/trace.json" \
+      "$OLDPWD/$dir/bench/bench_single_query" 16 wide 13 du)
+  python3 - "$work/results/bench_single_query.json" "$work/trace.json" <<'EOF'
+import collections, json, sys
+results_path, trace_path = sys.argv[1], sys.argv[2]
+with open(results_path) as f:
+    doc = json.load(f)
+counters = doc["result"]["profile"]["counters"]
+spilled = counters.get("io.spill_bytes_written", 0)
+assert spilled > 0, f"profile saw no spill: {counters}"
+assert counters.get("io.spill_bytes_read", 0) > 0, "nothing read back"
+with open(trace_path) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+assert events, "trace is empty"
+# Complete events (ph == "X") must be balanced: per thread, spans are
+# laminar — any two either nest or are disjoint (no partial overlap).
+by_tid = collections.defaultdict(list)
+for e in events:
+    if e["ph"] == "X":
+        assert e["dur"] >= 0, e
+        by_tid[e["tid"]].append((e["ts"], e["ts"] + e["dur"]))
+names = {e["name"] for e in events if e["ph"] == "X"}
+assert "query" in names and "spill.write" in names, names
+for tid, spans in by_tid.items():
+    # Sweep in start order (outer span first on ties); the stack holds the
+    # end times of currently-open ancestors.
+    spans.sort(key=lambda span: (span[0], -span[1]))
+    stack = []
+    for start, end in spans:
+        while stack and start >= stack[-1]:
+            stack.pop()
+        assert not stack or end <= stack[-1], \
+            f"overlapping spans on tid {tid}"
+        stack.append(end)
+print(f"profile smoke ok: {spilled} spill bytes, "
+      f"{sum(len(s) for s in by_tid.values())} spans on {len(by_tid)} threads")
+EOF
+  rm -rf "$work"
+}
+
 if [[ "$MODE" != "--asan-only" ]]; then
   echo "=== plain build + ctest ==="
   run_build build
+  profile_smoke build
 fi
 
 if [[ "$MODE" != "--plain-only" ]]; then

@@ -2,6 +2,10 @@
 
 #include <cstring>
 
+#include "observe/log.h"
+#include "observe/metrics.h"
+#include "observe/trace.h"
+
 namespace ssagg {
 
 //===----------------------------------------------------------------------===//
@@ -59,7 +63,15 @@ BufferManager::BufferManager(std::string temp_directory, idx_t memory_limit,
     : temp_directory_(std::move(temp_directory)),
       memory_limit_(memory_limit),
       policy_(policy),
-      temp_files_(temp_directory_) {}
+      temp_files_(temp_directory_) {
+  MetricsRegistry &registry = MetricsRegistry::Global();
+  key_evict_persistent_ = registry.KeyId("bm.evictions_persistent");
+  key_evict_temp_spilled_ = registry.KeyId("bm.evictions_temporary_spilled");
+  key_evict_temp_destroyed_ =
+      registry.KeyId("bm.evictions_temporary_destroyed");
+  key_buffer_reuse_ = registry.KeyId("bm.buffer_reuse_hits");
+  key_oom_rejections_ = registry.KeyId("bm.oom_rejections");
+}
 
 BufferManager::~BufferManager() = default;
 
@@ -153,6 +165,16 @@ Result<std::unique_ptr<FileBuffer>> BufferManager::EvictOneBlock(
       }
     }
     if (!candidate) {
+      oom_rejections_.fetch_add(1, std::memory_order_relaxed);
+      MetricsRegistry::Global().Add(key_oom_rejections_, 1);
+      TraceRecorder::Global().EmitInstant("oom_rejection", "bm");
+      SSAGG_LOG_INFO(
+          "reservation rejected: memory limit %llu exceeded (%llu used) and "
+          "no page can be evicted",
+          static_cast<unsigned long long>(
+              memory_limit_.load(std::memory_order_relaxed)),
+          static_cast<unsigned long long>(
+              memory_used_.load(std::memory_order_relaxed)));
       return Status::OutOfMemory(
           "memory limit exceeded and no page can be evicted");
     }
@@ -182,12 +204,17 @@ Result<std::unique_ptr<FileBuffer>> BufferManager::EvictOneBlock(
     if (kind == BlockKind::kPersistent) {
       // Contents are replicated in the database file: dropping is free.
       evicted_persistent_count_.fetch_add(1, std::memory_order_relaxed);
+      MetricsRegistry::Global().Add(key_evict_persistent_, 1);
     } else if (candidate->can_destroy_) {
       candidate->destroyed_ = true;
       evicted_temporary_count_.fetch_add(1, std::memory_order_relaxed);
+      MetricsRegistry::Global().Add(key_evict_temp_destroyed_, 1);
     } else {
+      SSAGG_LOG_DEBUG("spilling temporary block of %llu bytes",
+                      static_cast<unsigned long long>(size));
       SSAGG_RETURN_NOT_OK(SpillBlock(*candidate));
       evicted_temporary_count_.fetch_add(1, std::memory_order_relaxed);
+      MetricsRegistry::Global().Add(key_evict_temp_spilled_, 1);
     }
     std::unique_ptr<FileBuffer> buffer = std::move(candidate->buffer_);
     candidate->state_ = BlockState::kUnloaded;
@@ -195,6 +222,7 @@ Result<std::unique_ptr<FileBuffer>> BufferManager::EvictOneBlock(
     if (buffer->size() == reuse_size) {
       // Hand the buffer to the new allocation; its memory charge transfers.
       reused_buffers_.fetch_add(1, std::memory_order_relaxed);
+      MetricsRegistry::Global().Add(key_buffer_reuse_, 1);
       return buffer;
     }
     buffer.reset();
@@ -417,6 +445,13 @@ BufferManagerSnapshot BufferManager::Snapshot() const {
   snap.reused_buffers = reused_buffers_.load(std::memory_order_relaxed);
   snap.temp_writes = temp_files_.WriteCount();
   snap.temp_reads = temp_files_.ReadCount();
+  snap.spill_bytes_written = temp_files_.BytesWritten();
+  snap.spill_bytes_read = temp_files_.BytesRead();
+  snap.spill_write_seconds = temp_files_.WriteSeconds();
+  snap.spill_read_seconds = temp_files_.ReadSeconds();
+  snap.spill_slot_reuses = temp_files_.SlotReuses();
+  snap.spill_variable_files = temp_files_.VariableFilesCreated();
+  snap.oom_rejections = oom_rejections_.load(std::memory_order_relaxed);
   return snap;
 }
 

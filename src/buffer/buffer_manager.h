@@ -26,7 +26,8 @@ enum class EvictionPolicy : uint8_t {
   kPersistentFirst,
 };
 
-/// Point-in-time view of the buffer manager, sampled by the Figure 4 bench.
+/// Point-in-time view of the buffer manager, sampled by the Figure 4 bench
+/// and embedded (as begin/end deltas) in QueryProfile.
 struct BufferManagerSnapshot {
   idx_t memory_used = 0;
   idx_t memory_limit = 0;
@@ -40,6 +41,15 @@ struct BufferManagerSnapshot {
   idx_t reused_buffers = 0;
   idx_t temp_writes = 0;
   idx_t temp_reads = 0;
+  // Spill I/O accounting (ground truth: TemporaryFileManager).
+  idx_t spill_bytes_written = 0;
+  idx_t spill_bytes_read = 0;
+  double spill_write_seconds = 0;
+  double spill_read_seconds = 0;
+  idx_t spill_slot_reuses = 0;
+  idx_t spill_variable_files = 0;
+  /// Reservations rejected because nothing more could be evicted.
+  idx_t oom_rejections = 0;
 };
 
 /// RAII owner of a non-paged allocation (Section III): any-size, not
@@ -200,6 +210,14 @@ class BufferManager {
   std::atomic<idx_t> evicted_persistent_count_{0};
   std::atomic<idx_t> evicted_temporary_count_{0};
   std::atomic<idx_t> reused_buffers_{0};
+  std::atomic<idx_t> oom_rejections_{0};
+
+  /// Cached global-registry key ids ("bm.*"), resolved at construction.
+  idx_t key_evict_persistent_;
+  idx_t key_evict_temp_spilled_;
+  idx_t key_evict_temp_destroyed_;
+  idx_t key_buffer_reuse_;
+  idx_t key_oom_rejections_;
 };
 
 }  // namespace ssagg

@@ -1,10 +1,36 @@
 #include "buffer/temporary_file_manager.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/constants.h"
+#include "observe/trace.h"
 
 namespace ssagg {
+
+namespace {
+/// Nanoseconds spent in `fn` (a file-system call).
+template <typename Fn>
+uint64_t TimedNs(const Fn &fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+}  // namespace
+
+TemporaryFileManager::TemporaryFileManager(std::string directory)
+    : directory_(std::move(directory)) {
+  MetricsRegistry &registry = MetricsRegistry::Global();
+  key_spill_writes_ = registry.KeyId("io.spill_writes");
+  key_spill_reads_ = registry.KeyId("io.spill_reads");
+  key_spill_bytes_written_ = registry.KeyId("io.spill_bytes_written");
+  key_spill_bytes_read_ = registry.KeyId("io.spill_bytes_read");
+  key_spill_write_ns_ = registry.KeyId("io.spill_write_ns");
+  key_spill_read_ns_ = registry.KeyId("io.spill_read_ns");
+}
 
 TemporaryFileManager::~TemporaryFileManager() {
   std::lock_guard<std::mutex> guard(lock_);
@@ -36,6 +62,7 @@ Status TemporaryFileManager::EnsureFixedFile() {
 
 Result<idx_t> TemporaryFileManager::WriteFixedBlock(const FileBuffer &buffer) {
   SSAGG_DASSERT(buffer.size() == kPageSize);
+  TraceSpan span("spill.write", "io");
   idx_t slot;
   {
     std::lock_guard<std::mutex> guard(lock_);
@@ -43,6 +70,7 @@ Result<idx_t> TemporaryFileManager::WriteFixedBlock(const FileBuffer &buffer) {
     if (!free_slots_.empty()) {
       slot = free_slots_.back();
       free_slots_.pop_back();
+      slot_reuses_++;
     } else {
       slot = slot_count_++;
     }
@@ -50,21 +78,48 @@ Result<idx_t> TemporaryFileManager::WriteFixedBlock(const FileBuffer &buffer) {
     write_count_++;
     UpdatePeak();
   }
-  SSAGG_RETURN_NOT_OK(
-      fixed_file_->Write(buffer.data(), kPageSize, slot * kPageSize));
+  Status status;
+  uint64_t ns = TimedNs([&]() {
+    status = fixed_file_->Write(buffer.data(), kPageSize, slot * kPageSize);
+  });
+  SSAGG_RETURN_NOT_OK(status);
+  RecordWrite(kPageSize, ns);
   return slot;
 }
 
 Status TemporaryFileManager::ReadFixedBlock(idx_t slot, FileBuffer &buffer) {
   SSAGG_DASSERT(buffer.size() == kPageSize);
-  SSAGG_RETURN_NOT_OK(
-      fixed_file_->Read(buffer.data(), kPageSize, slot * kPageSize));
+  TraceSpan span("spill.read", "io");
+  Status status;
+  uint64_t ns = TimedNs([&]() {
+    status = fixed_file_->Read(buffer.data(), kPageSize, slot * kPageSize);
+  });
+  SSAGG_RETURN_NOT_OK(status);
   FreeFixedSlot(slot);
   {
     std::lock_guard<std::mutex> guard(lock_);
     read_count_++;
   }
+  RecordRead(kPageSize, ns);
   return Status::OK();
+}
+
+void TemporaryFileManager::RecordWrite(idx_t bytes, uint64_t ns) {
+  bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+  write_ns_.fetch_add(ns, std::memory_order_relaxed);
+  MetricsRegistry &registry = MetricsRegistry::Global();
+  registry.Add(key_spill_writes_, 1);
+  registry.Add(key_spill_bytes_written_, bytes);
+  registry.Add(key_spill_write_ns_, ns);
+}
+
+void TemporaryFileManager::RecordRead(idx_t bytes, uint64_t ns) {
+  bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+  read_ns_.fetch_add(ns, std::memory_order_relaxed);
+  MetricsRegistry &registry = MetricsRegistry::Global();
+  registry.Add(key_spill_reads_, 1);
+  registry.Add(key_spill_bytes_read_, bytes);
+  registry.Add(key_spill_read_ns_, ns);
 }
 
 void TemporaryFileManager::FreeFixedSlot(idx_t slot) {
@@ -80,11 +135,13 @@ std::string TemporaryFileManager::VariableFilePath(block_id_t id) const {
 
 Status TemporaryFileManager::WriteVariableBlock(block_id_t id,
                                                 const FileBuffer &buffer) {
+  TraceSpan span("spill.write", "io", buffer.size());
   {
     std::lock_guard<std::mutex> guard(lock_);
     SSAGG_RETURN_NOT_OK(FileSystem::CreateDirectories(directory_));
     variable_sizes_[id] = buffer.size();
     write_count_++;
+    variable_files_created_++;
     UpdatePeak();
   }
   FileOpenFlags flags;
@@ -92,23 +149,34 @@ Status TemporaryFileManager::WriteVariableBlock(block_id_t id,
   flags.write = true;
   flags.create = true;
   flags.truncate = true;
-  SSAGG_ASSIGN_OR_RETURN(auto file,
-                         FileSystem::Open(VariableFilePath(id), flags));
-  return file->Write(buffer.data(), buffer.size(), 0);
+  Status status;
+  uint64_t ns = TimedNs([&]() {
+    auto file = FileSystem::Open(VariableFilePath(id), flags);
+    status = file.ok() ? file.value()->Write(buffer.data(), buffer.size(), 0)
+                       : file.status();
+  });
+  SSAGG_RETURN_NOT_OK(status);
+  RecordWrite(buffer.size(), ns);
+  return Status::OK();
 }
 
 Status TemporaryFileManager::ReadVariableBlock(block_id_t id,
                                                FileBuffer &buffer) {
+  TraceSpan span("spill.read", "io", buffer.size());
   FileOpenFlags flags;
-  SSAGG_ASSIGN_OR_RETURN(auto file,
-                         FileSystem::Open(VariableFilePath(id), flags));
-  SSAGG_RETURN_NOT_OK(file->Read(buffer.data(), buffer.size(), 0));
-  file.reset();
+  Status status;
+  uint64_t ns = TimedNs([&]() {
+    auto file = FileSystem::Open(VariableFilePath(id), flags);
+    status = file.ok() ? file.value()->Read(buffer.data(), buffer.size(), 0)
+                       : file.status();
+  });
+  SSAGG_RETURN_NOT_OK(status);
   FreeVariableBlock(id);
   {
     std::lock_guard<std::mutex> guard(lock_);
     read_count_++;
   }
+  RecordRead(buffer.size(), ns);
   return Status::OK();
 }
 

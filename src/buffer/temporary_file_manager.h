@@ -1,6 +1,7 @@
 #ifndef SSAGG_BUFFER_TEMPORARY_FILE_MANAGER_H_
 #define SSAGG_BUFFER_TEMPORARY_FILE_MANAGER_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -10,6 +11,7 @@
 #include "buffer/file_buffer.h"
 #include "common/file_system.h"
 #include "common/status.h"
+#include "observe/metrics.h"
 
 namespace ssagg {
 
@@ -22,8 +24,7 @@ namespace ssagg {
 /// The temporary files are completely separate from the database file.
 class TemporaryFileManager {
  public:
-  explicit TemporaryFileManager(std::string directory)
-      : directory_(std::move(directory)) {}
+  explicit TemporaryFileManager(std::string directory);
   ~TemporaryFileManager();
 
   TemporaryFileManager(const TemporaryFileManager &) = delete;
@@ -52,10 +53,35 @@ class TemporaryFileManager {
   idx_t WriteCount() const { return write_count_; }
   idx_t ReadCount() const { return read_count_; }
 
+  /// I/O accounting — the observability layer's ground truth for spill
+  /// volume: every byte handed to / read back from temporary storage.
+  idx_t BytesWritten() const {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
+  idx_t BytesRead() const {
+    return bytes_read_.load(std::memory_order_relaxed);
+  }
+  /// Wall-clock seconds spent inside the write/read syscalls.
+  double WriteSeconds() const {
+    return static_cast<double>(write_ns_.load(std::memory_order_relaxed)) /
+           1e9;
+  }
+  double ReadSeconds() const {
+    return static_cast<double>(read_ns_.load(std::memory_order_relaxed)) / 1e9;
+  }
+  /// Fixed-file slots handed out from the free list (vs. file growth).
+  idx_t SlotReuses() const { return slot_reuses_; }
+  /// Variable-size temporary files ever created.
+  idx_t VariableFilesCreated() const { return variable_files_created_; }
+
  private:
   Status EnsureFixedFile();
   std::string VariableFilePath(block_id_t id) const;
   void UpdatePeak();
+  /// Folds one spill write/read into the local accounting and the global
+  /// metrics registry.
+  void RecordWrite(idx_t bytes, uint64_t ns);
+  void RecordRead(idx_t bytes, uint64_t ns);
 
   std::string directory_;
 
@@ -69,6 +95,20 @@ class TemporaryFileManager {
   idx_t peak_size_ = 0;
   idx_t write_count_ = 0;
   idx_t read_count_ = 0;
+  idx_t slot_reuses_ = 0;
+  idx_t variable_files_created_ = 0;
+  std::atomic<idx_t> bytes_written_{0};
+  std::atomic<idx_t> bytes_read_{0};
+  std::atomic<idx_t> write_ns_{0};
+  std::atomic<idx_t> read_ns_{0};
+
+  /// Cached registry key ids ("io.*"), resolved once at construction.
+  idx_t key_spill_writes_;
+  idx_t key_spill_reads_;
+  idx_t key_spill_bytes_written_;
+  idx_t key_spill_bytes_read_;
+  idx_t key_spill_write_ns_;
+  idx_t key_spill_read_ns_;
 };
 
 }  // namespace ssagg

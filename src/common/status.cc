@@ -1,5 +1,7 @@
 #include "common/status.h"
 
+#include "observe/log.h"
+
 namespace ssagg {
 
 namespace {
@@ -37,8 +39,14 @@ std::string Status::ToString() const {
 }
 
 void AssertionFailed(const char *expr, const char *file, int line) {
-  std::fprintf(stderr, "ssagg assertion failed: %s at %s:%d\n", expr, file,
-               line);
+  // An assertion must be heard even when SSAGG_LOG_LEVEL silences the
+  // logger; fall back to raw stderr in that case.
+  if (LogEnabled(LogLevel::kError)) {
+    SSAGG_LOG_ERROR("assertion failed: %s at %s:%d", expr, file, line);
+  } else {
+    std::fprintf(stderr, "ssagg assertion failed: %s at %s:%d\n", expr, file,
+                 line);
+  }
   std::abort();
 }
 

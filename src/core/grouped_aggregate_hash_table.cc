@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/string_type.h"
+#include "observe/trace.h"
 
 namespace ssagg {
 
@@ -421,7 +422,21 @@ Status GroupedAggregateHashTable::CombineSourceChunk(
   return Status::OK();
 }
 
+void GroupedAggregateHashTable::Stats::Merge(const Stats &other) {
+  probe_steps += other.probe_steps;
+  key_compares += other.key_compares;
+  key_compare_misses += other.key_compare_misses;
+  inserts += other.inserts;
+  resets += other.resets;
+  resizes += other.resizes;
+  probe_rounds += other.probe_rounds;
+  prefetches += other.prefetches;
+  vectorized_compares += other.vectorized_compares;
+  scalar_compares += other.scalar_compares;
+}
+
 void GroupedAggregateHashTable::ClearPointerTable() {
+  TraceRecorder::Global().EmitInstant("ht.reset", "agg", count_);
   std::memset(entries_alloc_.data(), 0, capacity_ * 8);
   count_ = 0;
   stats_.resets++;
@@ -432,6 +447,7 @@ void GroupedAggregateHashTable::ClearPointerTable() {
 
 Status GroupedAggregateHashTable::Resize() {
   SSAGG_ASSERT(config_.resizable);
+  TraceSpan span("ht.resize", "agg", capacity_ * 2);
   // In a resizable table the pointer table is never reset, so every
   // materialized row is reachable and carries its hash: rebuild by visiting
   // all rows.

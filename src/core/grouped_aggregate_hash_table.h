@@ -59,6 +59,10 @@ class GroupedAggregateHashTable {
     uint64_t prefetches = 0;           // software prefetches issued
     uint64_t vectorized_compares = 0;  // candidates matched column-at-a-time
     uint64_t scalar_compares = 0;      // candidates matched row-at-a-time
+
+    /// Folds another table's counters into this one — every field, so call
+    /// sites cannot silently drop newly added counters.
+    void Merge(const Stats &other);
   };
 
   /// Creates a hash table. `input_types` are the operator's input chunk

@@ -1,5 +1,7 @@
 #include "core/physical_hash_aggregate.h"
 
+#include "observe/trace.h"
+
 namespace ssagg {
 
 Result<std::unique_ptr<PhysicalHashAggregate>> PhysicalHashAggregate::Create(
@@ -52,6 +54,7 @@ Status PhysicalHashAggregate::Sink(DataChunk &chunk, LocalSinkState &state) {
 }
 
 Status PhysicalHashAggregate::EarlyCompactLocal(LocalState &local) {
+  TraceSpan span("early_compact", "agg", local.ht->data().Count());
   // The pointer table may reference rows that are about to move; clear it
   // (this also releases the append pins).
   local.ht->ClearPointerTable();
@@ -105,11 +108,7 @@ Status PhysicalHashAggregate::Combine(LocalSinkState &state) {
   }
   stats_.materialized_rows += local.ht->data().Count();
   const auto &s = local.ht->stats();
-  stats_.ht.probe_steps += s.probe_steps;
-  stats_.ht.key_compares += s.key_compares;
-  stats_.ht.key_compare_misses += s.key_compare_misses;
-  stats_.ht.inserts += s.inserts;
-  stats_.ht.resets += s.resets;
+  stats_.ht.Merge(s);
   stats_.phase1_resets += s.resets;
   stats_.early_compactions += local.early_compactions;
   stats_.early_compacted_rows += local.early_compacted_rows;
@@ -125,6 +124,7 @@ Status PhysicalHashAggregate::AggregatePartition(idx_t partition_idx,
   if (source.Count() == 0) {
     return Status::OK();
   }
+  TraceSpan span("phase2.partition", "agg", partition_idx);
   GroupedAggregateHashTable::Config ht_config;
   ht_config.capacity = config_.phase2_initial_capacity;
   ht_config.radix_bits = 0;  // a phase-2 table is not repartitioned
@@ -178,8 +178,7 @@ Status PhysicalHashAggregate::AggregatePartition(idx_t partition_idx,
   {
     std::lock_guard<std::mutex> guard(lock_);
     stats_.unique_groups += groups;
-    const auto &s = ht->stats();
-    stats_.ht.resizes += s.resizes;
+    stats_.ht.Merge(ht->stats());
   }
   return Status::OK();
 }

@@ -2,25 +2,92 @@
 
 #include <chrono>
 
+#include "observe/trace.h"
+
 namespace ssagg {
+
+void AddAggregateStats(const HashAggregateStats &stats,
+                       QueryProfile &profile) {
+  profile.AddCounter("agg.materialized_rows", stats.materialized_rows);
+  profile.AddCounter("agg.unique_groups", stats.unique_groups);
+  profile.AddCounter("agg.phase1_resets", stats.phase1_resets);
+  profile.AddCounter("agg.early_compactions", stats.early_compactions);
+  profile.AddCounter("agg.early_compacted_rows", stats.early_compacted_rows);
+  profile.AddCounter("agg.ht_probe_steps", stats.ht.probe_steps);
+  profile.AddCounter("agg.ht_key_compares", stats.ht.key_compares);
+  profile.AddCounter("agg.ht_key_compare_misses", stats.ht.key_compare_misses);
+  profile.AddCounter("agg.ht_inserts", stats.ht.inserts);
+  profile.AddCounter("agg.ht_resets", stats.ht.resets);
+  profile.AddCounter("agg.ht_resizes", stats.ht.resizes);
+  profile.AddCounter("agg.ht_probe_rounds", stats.ht.probe_rounds);
+  profile.AddCounter("agg.ht_prefetches", stats.ht.prefetches);
+  profile.AddCounter("agg.ht_vectorized_compares",
+                     stats.ht.vectorized_compares);
+  profile.AddCounter("agg.ht_scalar_compares", stats.ht.scalar_compares);
+  profile.AddTiming("agg.phase1_seconds", stats.phase1_seconds);
+  profile.AddTiming("agg.phase2_seconds", stats.phase2_seconds);
+}
 
 Result<HashAggregateStats> RunGroupedAggregation(
     BufferManager &buffer_manager, DataSource &source,
     const std::vector<idx_t> &group_columns,
     const std::vector<AggregateRequest> &aggregates, DataSink &output,
-    TaskExecutor &executor, HashAggregateConfig config) {
+    TaskExecutor &executor, HashAggregateConfig config,
+    QueryProfile *profile) {
   SSAGG_ASSIGN_OR_RETURN(
       auto agg, PhysicalHashAggregate::Create(buffer_manager, source.Types(),
                                               group_columns, aggregates,
                                               config));
+  // Per-query attribution against the cumulative process-wide registry and
+  // executor counters: snapshot before, subtract after.
+  RegistryDelta delta;
+  ExecutorStats exec_before = executor.stats();
+
+  TraceSpan query_span("query", "agg");
   auto t0 = std::chrono::steady_clock::now();
-  SSAGG_RETURN_NOT_OK(executor.RunPipeline(source, *agg));
+  {
+    TraceSpan span("phase1", "agg");
+    SSAGG_RETURN_NOT_OK(executor.RunPipeline(source, *agg));
+  }
   auto t1 = std::chrono::steady_clock::now();
-  SSAGG_RETURN_NOT_OK(agg->EmitResults(output, executor));
+  {
+    TraceSpan span("phase2", "agg");
+    SSAGG_RETURN_NOT_OK(agg->EmitResults(output, executor));
+  }
   auto t2 = std::chrono::steady_clock::now();
   HashAggregateStats stats = agg->stats();
   stats.phase1_seconds = std::chrono::duration<double>(t1 - t0).count();
-  stats.phase2_seconds = std::chrono::duration<double>(t2 - t1).count();
+  stats.phase2_seconds = std::chrono::duration<double>(t2 - t0).count() -
+                         stats.phase1_seconds;
+
+  if (profile != nullptr) {
+    profile->threads = executor.num_threads();
+    profile->phase1_seconds += stats.phase1_seconds;
+    profile->phase2_seconds += stats.phase2_seconds;
+    profile->total_seconds += std::chrono::duration<double>(t2 - t0).count();
+    AddAggregateStats(stats, *profile);
+    delta.AddTo(*profile);
+
+    ExecutorStats exec = executor.stats();
+    profile->AddTiming("exec.worker_seconds",
+                       exec.worker_seconds - exec_before.worker_seconds);
+    profile->AddTiming("exec.source_seconds",
+                       exec.source_seconds - exec_before.source_seconds);
+    profile->AddTiming("exec.sink_seconds",
+                       exec.sink_seconds - exec_before.sink_seconds);
+    profile->AddTiming("exec.combine_seconds",
+                       exec.combine_seconds - exec_before.combine_seconds);
+
+    BufferManagerSnapshot snapshot = buffer_manager.Snapshot();
+    profile->AddCounter("bm.memory_limit", snapshot.memory_limit);
+    profile->AddCounter("bm.temp_file_peak", snapshot.temp_file_peak);
+    profile->AddTiming("io.spill_write_seconds", snapshot.spill_write_seconds);
+    profile->AddTiming("io.spill_read_seconds", snapshot.spill_read_seconds);
+  }
+  // Make partial traces useful: persist what we have after every query.
+  if (TraceRecorder::Global().enabled()) {
+    (void)TraceRecorder::Global().Flush();
+  }
   return stats;
 }
 

@@ -8,6 +8,7 @@
 #include "core/physical_hash_aggregate.h"
 #include "execution/operator.h"
 #include "execution/task_executor.h"
+#include "observe/profile.h"
 
 namespace ssagg {
 
@@ -15,11 +16,22 @@ namespace ssagg {
 /// source, pushing results into `output`. This is the full two-pipeline
 /// query: (source -> aggregate sink), then (aggregate partitions ->
 /// output). Returns operator statistics.
+///
+/// When `profile` is non-null it is filled with the query's observability
+/// snapshot: phase timings, operator counters ("agg.*"), executor counters
+/// and timings ("exec.*"), and the growth the query caused in the global
+/// metrics registry ("bm.*", "io.*", ...). If SSAGG_TRACE is set, the trace
+/// file is flushed after the query.
 Result<HashAggregateStats> RunGroupedAggregation(
     BufferManager &buffer_manager, DataSource &source,
     const std::vector<idx_t> &group_columns,
     const std::vector<AggregateRequest> &aggregates, DataSink &output,
-    TaskExecutor &executor, HashAggregateConfig config = {});
+    TaskExecutor &executor, HashAggregateConfig config = {},
+    QueryProfile *profile = nullptr);
+
+/// Flattens operator stats into a profile's "agg.*" counters (shared by
+/// RunGroupedAggregation and benches that drive the operator directly).
+void AddAggregateStats(const HashAggregateStats &stats, QueryProfile &profile);
 
 }  // namespace ssagg
 

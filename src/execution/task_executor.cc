@@ -1,8 +1,12 @@
 #include "execution/task_executor.h"
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
 #include <thread>
+
+#include "observe/metrics.h"
+#include "observe/trace.h"
 
 namespace ssagg {
 
@@ -33,7 +37,36 @@ class ErrorCollector {
   std::atomic<bool> failed_{false};
 };
 
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
 }  // namespace
+
+void ExecutorStats::Merge(const ExecutorStats &other) {
+  workers += other.workers;
+  chunks += other.chunks;
+  rows += other.rows;
+  tasks += other.tasks;
+  deadline_aborts += other.deadline_aborts;
+  worker_seconds += other.worker_seconds;
+  source_seconds += other.source_seconds;
+  sink_seconds += other.sink_seconds;
+  combine_seconds += other.combine_seconds;
+}
+
+TaskExecutor::TaskExecutor(idx_t num_threads) : num_threads_(num_threads) {
+  MetricsRegistry &registry = MetricsRegistry::Global();
+  key_chunks_ = registry.KeyId("exec.chunks");
+  key_rows_ = registry.KeyId("exec.rows");
+  key_tasks_ = registry.KeyId("exec.tasks");
+  key_deadline_aborts_ = registry.KeyId("exec.deadline_aborts");
+  key_source_ns_ = registry.KeyId("exec.source_ns");
+  key_sink_ns_ = registry.KeyId("exec.sink_ns");
+  key_combine_ns_ = registry.KeyId("exec.combine_ns");
+}
 
 void TaskExecutor::SetDeadline(double seconds_from_now) {
   has_deadline_ = true;
@@ -49,9 +82,31 @@ Status TaskExecutor::CheckDeadline() const {
   return Status::OK();
 }
 
+void TaskExecutor::AccumulateWorker(const ExecutorStats &local) {
+  {
+    std::lock_guard<std::mutex> guard(stats_lock_);
+    stats_.Merge(local);
+  }
+  MetricsRegistry &registry = MetricsRegistry::Global();
+  registry.Add(key_chunks_, local.chunks);
+  registry.Add(key_rows_, local.rows);
+  registry.Add(key_tasks_, local.tasks);
+  registry.Add(key_deadline_aborts_, local.deadline_aborts);
+  registry.Add(key_source_ns_,
+               static_cast<uint64_t>(local.source_seconds * 1e9));
+  registry.Add(key_sink_ns_, static_cast<uint64_t>(local.sink_seconds * 1e9));
+  registry.Add(key_combine_ns_,
+               static_cast<uint64_t>(local.combine_seconds * 1e9));
+}
+
 Status TaskExecutor::RunPipeline(DataSource &source, DataSink &sink) {
+  TraceSpan pipeline_span("pipeline", "exec");
   ErrorCollector errors;
   auto worker = [&]() {
+    TraceSpan worker_span("worker", "exec");
+    ExecutorStats local;
+    local.workers = 1;
+    auto worker_start = Clock::now();
     auto lsource = source.InitLocal();
     if (!lsource.ok()) {
       errors.Set(lsource.status());
@@ -69,15 +124,18 @@ Status TaskExecutor::RunPipeline(DataSource &source, DataSink &sink) {
         chunks_since_check = 0;
         Status deadline = CheckDeadline();
         if (!deadline.ok()) {
+          local.deadline_aborts++;
           errors.Set(std::move(deadline));
-          return;
+          break;
         }
       }
       chunk.Reset();
+      auto source_start = Clock::now();
       auto more = source.GetData(chunk, *lsource.value());
+      local.source_seconds += SecondsSince(source_start);
       if (!more.ok()) {
         errors.Set(more.status());
-        return;
+        break;
       }
       if (!more.value()) {
         break;
@@ -85,15 +143,24 @@ Status TaskExecutor::RunPipeline(DataSource &source, DataSink &sink) {
       if (chunk.size() == 0) {
         continue;
       }
+      local.chunks++;
+      local.rows += chunk.size();
+      auto sink_start = Clock::now();
       Status st = sink.Sink(chunk, *lsink.value());
+      local.sink_seconds += SecondsSince(sink_start);
       if (!st.ok()) {
         errors.Set(st);
-        return;
+        break;
       }
     }
     if (!errors.Failed()) {
+      TraceSpan combine_span("combine", "exec");
+      auto combine_start = Clock::now();
       errors.Set(sink.Combine(*lsink.value()));
+      local.combine_seconds += SecondsSince(combine_start);
     }
+    local.worker_seconds = SecondsSince(worker_start);
+    AccumulateWorker(local);
   };
 
   if (num_threads_ <= 1) {
@@ -115,18 +182,23 @@ Status TaskExecutor::RunTasks(const std::vector<std::function<Status()>> &tasks)
   ErrorCollector errors;
   std::atomic<idx_t> next{0};
   auto worker = [&]() {
+    ExecutorStats local;
     while (!errors.Failed()) {
       Status deadline = CheckDeadline();
       if (!deadline.ok()) {
+        local.deadline_aborts++;
         errors.Set(std::move(deadline));
-        return;
+        break;
       }
       idx_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= tasks.size()) {
-        return;
+        break;
       }
+      TraceSpan task_span("task", "exec", i);
+      local.tasks++;
       errors.Set(tasks[i]());
     }
+    AccumulateWorker(local);
   };
   idx_t nthreads = std::min<idx_t>(num_threads_, tasks.size());
   if (nthreads <= 1) {

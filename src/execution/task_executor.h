@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <functional>
+#include <mutex>
 #include <vector>
 
 #include "common/status.h"
@@ -10,13 +11,31 @@
 
 namespace ssagg {
 
+/// Per-run observability counters of the executor, summed over workers.
+/// Seconds are cumulative thread time, so with N workers busy the whole
+/// run, source+sink+combine approaches N x wall clock; the gap between
+/// worker_seconds and (source+sink+combine) is time lost to skew/idling.
+struct ExecutorStats {
+  idx_t workers = 0;
+  idx_t chunks = 0;           // morsel chunks pushed into the sink
+  idx_t rows = 0;             // rows those chunks carried
+  idx_t tasks = 0;            // RunTasks tasks executed
+  idx_t deadline_aborts = 0;  // runs aborted by the wall-clock deadline
+  double worker_seconds = 0;   // total worker wall clock
+  double source_seconds = 0;   // inside DataSource::GetData
+  double sink_seconds = 0;     // inside DataSink::Sink ("busy")
+  double combine_seconds = 0;  // inside DataSink::Combine
+
+  void Merge(const ExecutorStats &other);
+};
+
 /// Runs morsel-driven pipelines and parallel task sets on a fixed number of
 /// worker threads (paper Section V, "Parallelism"). Each pipeline run
 /// spawns the workers, drives source -> sink until the source is dry, and
 /// calls Combine once per thread. The first error aborts the run.
 class TaskExecutor {
  public:
-  explicit TaskExecutor(idx_t num_threads) : num_threads_(num_threads) {}
+  explicit TaskExecutor(idx_t num_threads);
 
   idx_t num_threads() const { return num_threads_; }
 
@@ -35,10 +54,31 @@ class TaskExecutor {
   /// claimed through an atomic counter (used for partition-wise phase 2).
   Status RunTasks(const std::vector<std::function<Status()>> &tasks);
 
+  /// Counters accumulated since construction (or the last ResetStats).
+  /// Do not call while a run is in flight.
+  const ExecutorStats &stats() const { return stats_; }
+  void ResetStats() { stats_ = ExecutorStats{}; }
+
  private:
+  /// Folds one worker's local counters into stats_ and the global metrics
+  /// registry.
+  void AccumulateWorker(const ExecutorStats &local);
+
   idx_t num_threads_;
   bool has_deadline_ = false;
   std::chrono::steady_clock::time_point deadline_{};
+
+  std::mutex stats_lock_;
+  ExecutorStats stats_;
+
+  // Cached global-registry key ids ("exec.*").
+  idx_t key_chunks_;
+  idx_t key_rows_;
+  idx_t key_tasks_;
+  idx_t key_deadline_aborts_;
+  idx_t key_source_ns_;
+  idx_t key_sink_ns_;
+  idx_t key_combine_ns_;
 };
 
 }  // namespace ssagg

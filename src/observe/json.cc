@@ -1,0 +1,452 @@
+#include "observe/json.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace ssagg {
+
+Json &Json::Set(const std::string &key, Json value) {
+  SSAGG_DASSERT(kind_ == Kind::kObject);
+  for (auto &member : members_) {
+    if (member.first == key) {
+      member.second = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json &Json::Push(Json value) {
+  SSAGG_DASSERT(kind_ == Kind::kArray);
+  elements_.push_back(std::move(value));
+  return *this;
+}
+
+const Json *Json::Find(const std::string &key) const {
+  if (kind_ != Kind::kObject) {
+    return nullptr;
+  }
+  for (const auto &member : members_) {
+    if (member.first == key) {
+      return &member.second;
+    }
+  }
+  return nullptr;
+}
+
+uint64_t Json::AsUint() const {
+  switch (kind_) {
+    case Kind::kUint:
+      return uint_;
+    case Kind::kInt:
+      return int_ < 0 ? 0 : static_cast<uint64_t>(int_);
+    case Kind::kDouble:
+      return double_ < 0 ? 0 : static_cast<uint64_t>(double_);
+    default:
+      return 0;
+  }
+}
+
+int64_t Json::AsInt() const {
+  switch (kind_) {
+    case Kind::kUint:
+      return static_cast<int64_t>(uint_);
+    case Kind::kInt:
+      return int_;
+    case Kind::kDouble:
+      return static_cast<int64_t>(double_);
+    default:
+      return 0;
+  }
+}
+
+double Json::AsDouble() const {
+  switch (kind_) {
+    case Kind::kUint:
+      return static_cast<double>(uint_);
+    case Kind::kInt:
+      return static_cast<double>(int_);
+    case Kind::kDouble:
+      return double_;
+    default:
+      return 0;
+  }
+}
+
+void Json::AppendEscaped(std::string &out, const std::string &s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void Json::DumpTo(std::string &out, int indent, int depth) const {
+  auto newline = [&](int d) {
+    if (indent > 0) {
+      out.push_back('\n');
+      out.append(static_cast<size_t>(indent) * d, ' ');
+    }
+  };
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kUint: {
+      char buffer[24];
+      std::snprintf(buffer, sizeof(buffer), "%llu",
+                    static_cast<unsigned long long>(uint_));
+      out += buffer;
+      break;
+    }
+    case Kind::kInt: {
+      char buffer[24];
+      std::snprintf(buffer, sizeof(buffer), "%lld",
+                    static_cast<long long>(int_));
+      out += buffer;
+      break;
+    }
+    case Kind::kDouble: {
+      char buffer[40];
+      if (std::isfinite(double_)) {
+        std::snprintf(buffer, sizeof(buffer), "%.9g", double_);
+      } else {
+        std::snprintf(buffer, sizeof(buffer), "null");  // JSON has no inf/nan
+      }
+      out += buffer;
+      break;
+    }
+    case Kind::kString:
+      AppendEscaped(out, string_);
+      break;
+    case Kind::kArray: {
+      if (elements_.empty()) {
+        out += "[]";
+        break;
+      }
+      out.push_back('[');
+      for (idx_t i = 0; i < elements_.size(); i++) {
+        if (i > 0) {
+          out.push_back(',');
+          if (indent == 0) {
+            out.push_back(' ');
+          }
+        }
+        newline(depth + 1);
+        elements_[i].DumpTo(out, indent, depth + 1);
+      }
+      newline(depth);
+      out.push_back(']');
+      break;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out.push_back('{');
+      for (idx_t i = 0; i < members_.size(); i++) {
+        if (i > 0) {
+          out.push_back(',');
+          if (indent == 0) {
+            out.push_back(' ');
+          }
+        }
+        newline(depth + 1);
+        AppendEscaped(out, members_[i].first);
+        out += ": ";
+        members_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      newline(depth);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string &text) : text_(text) {}
+
+  Result<Json> Parse() {
+    SSAGG_ASSIGN_OR_RETURN(Json value, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string &what) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      pos_++;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      pos_++;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return Error("unexpected end of input");
+    }
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        SSAGG_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return Json(std::move(s));
+      }
+      case 't':
+        return ParseLiteral("true", Json(true));
+      case 'f':
+        return ParseLiteral("false", Json(false));
+      case 'n':
+        return ParseLiteral("null", Json());
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<Json> ParseLiteral(const char *word, Json value) {
+    size_t len = std::strlen(word);
+    if (text_.compare(pos_, len, word) != 0) {
+      return Error("invalid literal");
+    }
+    pos_ += len;
+    return value;
+  }
+
+  Result<Json> ParseNumber() {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      pos_++;
+    }
+    if (pos_ == start) {
+      return Error("invalid number");
+    }
+    std::string token = text_.substr(start, pos_ - start);
+    bool integral =
+        token.find_first_of(".eE") == std::string::npos;
+    errno = 0;
+    if (integral && token[0] != '-') {
+      char *end = nullptr;
+      unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+      if (errno == 0 && end == token.c_str() + token.size()) {
+        return Json(static_cast<uint64_t>(v));
+      }
+    } else if (integral) {
+      char *end = nullptr;
+      long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end == token.c_str() + token.size()) {
+        return Json(static_cast<int64_t>(v));
+      }
+    }
+    char *end = nullptr;
+    double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return Error("invalid number '" + token + "'");
+    }
+    return Json(v);
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) {
+      return Error("expected '\"'");
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Error("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; i++) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= h - '0';
+            } else if (h >= 'a' && h <= 'f') {
+              code |= h - 'a' + 10;
+            } else if (h >= 'A' && h <= 'F') {
+              code |= h - 'A' + 10;
+            } else {
+              return Error("invalid \\u escape");
+            }
+          }
+          // We only emit codes < 0x20; decode BMP code points as UTF-8.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("invalid escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<Json> ParseObject() {
+    Consume('{');
+    Json obj = Json::Object();
+    SkipWhitespace();
+    if (Consume('}')) {
+      return obj;
+    }
+    while (true) {
+      SkipWhitespace();
+      SSAGG_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) {
+        return Error("expected ':'");
+      }
+      SSAGG_ASSIGN_OR_RETURN(Json value, ParseValue());
+      obj.Set(key, std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return obj;
+      }
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  Result<Json> ParseArray() {
+    Consume('[');
+    Json arr = Json::Array();
+    SkipWhitespace();
+    if (Consume(']')) {
+      return arr;
+    }
+    while (true) {
+      SSAGG_ASSIGN_OR_RETURN(Json value, ParseValue());
+      arr.Push(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return arr;
+      }
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  const std::string &text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Json> Json::Parse(const std::string &text) {
+  return JsonParser(text).Parse();
+}
+
+}  // namespace ssagg

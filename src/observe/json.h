@@ -1,0 +1,107 @@
+#ifndef SSAGG_OBSERVE_JSON_H_
+#define SSAGG_OBSERVE_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/constants.h"
+#include "common/status.h"
+
+namespace ssagg {
+
+/// Minimal ordered JSON document: enough for the observability layer
+/// (QueryProfile serialization, Chrome-trace emission, bench result files)
+/// and for the round-trip tests that parse what we emit. Object members
+/// keep insertion order so emitted files are stable and diffable.
+///
+/// Numbers are stored as either an exact unsigned/signed 64-bit integer or
+/// a double; counters therefore survive a round trip bit-exactly.
+class Json {
+ public:
+  enum class Kind : uint8_t {
+    kNull,
+    kBool,
+    kUint,
+    kInt,
+    kDouble,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Json() : kind_(Kind::kNull) {}
+  Json(bool value) : kind_(Kind::kBool), bool_(value) {}  // NOLINT
+  Json(uint64_t value) : kind_(Kind::kUint), uint_(value) {}  // NOLINT
+  Json(int64_t value) : kind_(Kind::kInt), int_(value) {}  // NOLINT
+  Json(int value) : Json(static_cast<int64_t>(value)) {}  // NOLINT
+  Json(double value) : kind_(Kind::kDouble), double_(value) {}  // NOLINT
+  Json(std::string value)  // NOLINT
+      : kind_(Kind::kString), string_(std::move(value)) {}
+  Json(const char *value) : Json(std::string(value)) {}  // NOLINT
+
+  static Json Object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+  static Json Array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+
+  Kind kind() const { return kind_; }
+  bool IsNull() const { return kind_ == Kind::kNull; }
+  bool IsNumber() const {
+    return kind_ == Kind::kUint || kind_ == Kind::kInt ||
+           kind_ == Kind::kDouble;
+  }
+  bool IsString() const { return kind_ == Kind::kString; }
+  bool IsArray() const { return kind_ == Kind::kArray; }
+  bool IsObject() const { return kind_ == Kind::kObject; }
+
+  /// Object building: sets (or replaces) a member, keeping insertion order.
+  Json &Set(const std::string &key, Json value);
+  /// Array building.
+  Json &Push(Json value);
+
+  /// Object lookup; nullptr when absent or not an object.
+  const Json *Find(const std::string &key) const;
+  /// Object members / array elements (empty for other kinds).
+  const std::vector<std::pair<std::string, Json>> &members() const {
+    return members_;
+  }
+  const std::vector<Json> &elements() const { return elements_; }
+
+  bool AsBool() const { return kind_ == Kind::kBool && bool_; }
+  uint64_t AsUint() const;
+  int64_t AsInt() const;
+  double AsDouble() const;
+  const std::string &AsString() const { return string_; }
+
+  /// Serializes; indent > 0 pretty-prints with that many spaces per level.
+  std::string Dump(int indent = 0) const;
+
+  /// Strict-enough recursive-descent parser for everything Dump emits
+  /// (and standard JSON in general; no comments, no trailing commas).
+  static Result<Json> Parse(const std::string &text);
+
+ private:
+  void DumpTo(std::string &out, int indent, int depth) const;
+  static void AppendEscaped(std::string &out, const std::string &s);
+
+  Kind kind_;
+  bool bool_ = false;
+  uint64_t uint_ = 0;
+  int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  std::vector<std::pair<std::string, Json>> members_;
+  std::vector<Json> elements_;
+};
+
+}  // namespace ssagg
+
+#endif  // SSAGG_OBSERVE_JSON_H_

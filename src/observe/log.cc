@@ -1,0 +1,78 @@
+#include "observe/log.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace ssagg {
+
+namespace {
+
+LogLevel ParseLevel(const char *value) {
+  if (value == nullptr || value[0] == '\0') {
+    return LogLevel::kWarn;
+  }
+  if (std::strcmp(value, "off") == 0 || std::strcmp(value, "none") == 0) {
+    return LogLevel::kOff;
+  }
+  if (std::strcmp(value, "error") == 0 || std::strcmp(value, "0") == 0) {
+    return LogLevel::kError;
+  }
+  if (std::strcmp(value, "warn") == 0 || std::strcmp(value, "1") == 0) {
+    return LogLevel::kWarn;
+  }
+  if (std::strcmp(value, "info") == 0 || std::strcmp(value, "2") == 0) {
+    return LogLevel::kInfo;
+  }
+  if (std::strcmp(value, "debug") == 0 || std::strcmp(value, "3") == 0) {
+    return LogLevel::kDebug;
+  }
+  return LogLevel::kWarn;
+}
+
+char LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return 'E';
+    case LogLevel::kWarn:
+      return 'W';
+    case LogLevel::kInfo:
+      return 'I';
+    case LogLevel::kDebug:
+      return 'D';
+    case LogLevel::kOff:
+      break;
+  }
+  return '?';
+}
+
+}  // namespace
+
+LogLevel LogThreshold() {
+  static const LogLevel threshold = ParseLevel(std::getenv("SSAGG_LOG_LEVEL"));
+  return threshold;
+}
+
+void LogMessage(LogLevel level, const char *format, ...) {
+  if (!LogEnabled(level)) {
+    return;
+  }
+  static const auto epoch = std::chrono::steady_clock::now();
+  static std::mutex log_lock;
+  double seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - epoch)
+                       .count();
+  std::va_list args;
+  va_start(args, format);
+  {
+    std::lock_guard<std::mutex> guard(log_lock);
+    std::fprintf(stderr, "[ssagg] %c %8.3fs ", LevelTag(level), seconds);
+    std::vfprintf(stderr, format, args);
+    std::fputc('\n', stderr);
+  }
+  va_end(args);
+}
+
+}  // namespace ssagg

@@ -1,0 +1,46 @@
+#ifndef SSAGG_OBSERVE_LOG_H_
+#define SSAGG_OBSERVE_LOG_H_
+
+#include <cstdarg>
+
+namespace ssagg {
+
+/// Severity levels of the tiny process-wide logger. The threshold comes
+/// from the SSAGG_LOG_LEVEL environment variable — "error", "warn",
+/// "info", "debug" (or 0-3) — and defaults to warn, so assertion failures
+/// and memory-pressure warnings are visible while routine spill chatter
+/// stays off. "off" / "none" silences everything.
+enum class LogLevel : int {
+  kOff = -1,
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+};
+
+/// The active threshold (parsed once, cached).
+LogLevel LogThreshold();
+
+inline bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(LogThreshold());
+}
+
+/// printf-style message to stderr: "[ssagg] W 0.123s message\n". The
+/// timestamp is seconds since the first log call.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void LogMessage(LogLevel level, const char *format, ...);
+
+#define SSAGG_LOG_ERROR(...) \
+  ::ssagg::LogMessage(::ssagg::LogLevel::kError, __VA_ARGS__)
+#define SSAGG_LOG_WARN(...) \
+  ::ssagg::LogMessage(::ssagg::LogLevel::kWarn, __VA_ARGS__)
+#define SSAGG_LOG_INFO(...) \
+  ::ssagg::LogMessage(::ssagg::LogLevel::kInfo, __VA_ARGS__)
+#define SSAGG_LOG_DEBUG(...) \
+  ::ssagg::LogMessage(::ssagg::LogLevel::kDebug, __VA_ARGS__)
+
+}  // namespace ssagg
+
+#endif  // SSAGG_OBSERVE_LOG_H_

@@ -1,0 +1,100 @@
+#include "observe/metrics.h"
+
+namespace ssagg {
+
+namespace {
+std::atomic<uint64_t> next_registry_id{1};
+}  // namespace
+
+MetricsRegistry::MetricsRegistry()
+    : registry_id_(next_registry_id.fetch_add(1, std::memory_order_relaxed)) {
+  keys_.reserve(64);
+}
+
+MetricsRegistry &MetricsRegistry::Global() {
+  // Leaked intentionally: instrumented subsystems may record during static
+  // destruction (e.g., atexit trace flushing).
+  static MetricsRegistry *global = new MetricsRegistry();
+  return *global;
+}
+
+idx_t MetricsRegistry::KeyId(const std::string &key) {
+  std::lock_guard<std::mutex> guard(lock_);
+  auto it = key_ids_.find(key);
+  if (it != key_ids_.end()) {
+    return it->second;
+  }
+  SSAGG_ASSERT(keys_.size() < kMaxKeys);
+  idx_t id = keys_.size();
+  keys_.push_back(key);
+  key_ids_.emplace(key, id);
+  return id;
+}
+
+MetricsRegistry::Shard &MetricsRegistry::LocalShard() {
+  // One-entry inline cache in front of the per-thread map: repeated Adds to
+  // the same registry (the common case — Global()) skip the hash lookup.
+  struct LastUsed {
+    uint64_t registry_id = 0;
+    Shard *shard = nullptr;
+  };
+  thread_local LastUsed last;
+  thread_local std::unordered_map<uint64_t, Shard *> shard_by_registry;
+  if (last.registry_id == registry_id_) {
+    return *last.shard;
+  }
+  auto it = shard_by_registry.find(registry_id_);
+  if (it == shard_by_registry.end()) {
+    auto shard = std::make_unique<Shard>();
+    Shard *raw = shard.get();
+    {
+      std::lock_guard<std::mutex> guard(lock_);
+      shards_.push_back(std::move(shard));
+    }
+    it = shard_by_registry.emplace(registry_id_, raw).first;
+  }
+  last = LastUsed{registry_id_, it->second};
+  return *it->second;
+}
+
+uint64_t MetricsRegistry::Value(const std::string &key) const {
+  std::lock_guard<std::mutex> guard(lock_);
+  auto it = key_ids_.find(key);
+  if (it == key_ids_.end()) {
+    return 0;
+  }
+  uint64_t sum = 0;
+  for (const auto &shard : shards_) {
+    sum += shard->values[it->second].load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+std::map<std::string, uint64_t> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> guard(lock_);
+  std::map<std::string, uint64_t> result;
+  for (idx_t id = 0; id < keys_.size(); id++) {
+    uint64_t sum = 0;
+    for (const auto &shard : shards_) {
+      sum += shard->values[id].load(std::memory_order_relaxed);
+    }
+    result[keys_[id]] = sum;
+  }
+  return result;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> guard(lock_);
+  for (const auto &shard : shards_) {
+    for (idx_t id = 0; id < keys_.size(); id++) {
+      shard->values[id].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+idx_t MetricsRegistry::KeyCount() const {
+  std::lock_guard<std::mutex> guard(lock_);
+  return keys_.size();
+}
+
+}  // namespace ssagg

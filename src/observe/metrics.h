@@ -1,0 +1,126 @@
+#ifndef SSAGG_OBSERVE_METRICS_H_
+#define SSAGG_OBSERVE_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/constants.h"
+#include "common/status.h"
+
+namespace ssagg {
+
+/// Process-wide metrics registry with thread-local sharded counters.
+///
+/// Counters are addressed by stable string keys ("bm.spill_bytes_written",
+/// "exec.morsels", ...). A key resolves once to a dense id; increments then
+/// touch only the calling thread's shard — a plain array slot written with
+/// relaxed atomics, so the hot path takes no lock and shares no cache line
+/// with other threads. Snapshot() walks all shards under the registry lock
+/// and sums per key, which is exact: shards are never removed (a shard
+/// outlives its thread so counts from joined workers are retained — the
+/// task executor spawns fresh threads per pipeline, and their counts must
+/// not vanish with them).
+///
+/// Timers are counters holding nanoseconds; see ScopedTimerNs.
+///
+/// Convention for key names: "<subsystem>.<counter>"; *_bytes, *_ns
+/// suffixes for units.
+class MetricsRegistry {
+ public:
+  /// Up to this many distinct keys per registry; a shard is one fixed
+  /// array of this many slots (8 KiB), so key ids never invalidate.
+  static constexpr idx_t kMaxKeys = 1024;
+
+  MetricsRegistry();
+  ~MetricsRegistry() = default;
+
+  MetricsRegistry(const MetricsRegistry &) = delete;
+  MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+  /// The default registry every instrumented subsystem records into.
+  static MetricsRegistry &Global();
+
+  /// Resolves a key to its dense id, creating it on first use. Takes the
+  /// registry lock; call once and cache the id near hot paths.
+  idx_t KeyId(const std::string &key);
+
+  /// Lock-free: bumps the calling thread's shard slot.
+  void Add(idx_t key_id, uint64_t delta) {
+    SSAGG_DASSERT(key_id < kMaxKeys);
+    LocalShard().values[key_id].fetch_add(delta, std::memory_order_relaxed);
+  }
+  /// Convenience slow path: resolves the key every call.
+  void Add(const std::string &key, uint64_t delta) { Add(KeyId(key), delta); }
+
+  /// Sum of one key across all shards.
+  uint64_t Value(const std::string &key) const;
+
+  /// All keys summed across shards. Keys that were registered but never
+  /// incremented report 0.
+  std::map<std::string, uint64_t> Snapshot() const;
+
+  /// Zeroes every slot of every shard (keys stay registered). Counts from
+  /// concurrent writers may land before or after the reset, as usual for
+  /// monotonic counters.
+  void Reset();
+
+  idx_t KeyCount() const;
+
+ private:
+  struct Shard {
+    std::atomic<uint64_t> values[kMaxKeys];
+    Shard() {
+      for (auto &value : values) {
+        value.store(0, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  Shard &LocalShard();
+
+  /// Distinguishes registries in the thread-local shard cache; never
+  /// reused, so a destroyed registry's cache entries go permanently stale
+  /// instead of aliasing a new instance.
+  const uint64_t registry_id_;
+
+  mutable std::mutex lock_;
+  std::vector<std::string> keys_;                    // id -> key
+  std::unordered_map<std::string, idx_t> key_ids_;   // key -> id
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Adds the elapsed wall-clock nanoseconds to a registry counter when it
+/// goes out of scope.
+class ScopedTimerNs {
+ public:
+  ScopedTimerNs(MetricsRegistry &registry, idx_t key_id)
+      : registry_(registry),
+        key_id_(key_id),
+        start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimerNs() {
+    auto elapsed = std::chrono::steady_clock::now() - start_;
+    registry_.Add(
+        key_id_,
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()));
+  }
+
+  ScopedTimerNs(const ScopedTimerNs &) = delete;
+  ScopedTimerNs &operator=(const ScopedTimerNs &) = delete;
+
+ private:
+  MetricsRegistry &registry_;
+  idx_t key_id_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace ssagg
+
+#endif  // SSAGG_OBSERVE_METRICS_H_

@@ -1,0 +1,38 @@
+#include "observe/profile.h"
+
+namespace ssagg {
+
+Json QueryProfile::ToJson() const {
+  Json doc = Json::Object();
+  if (!query.empty()) {
+    doc.Set("query", query);
+  }
+  doc.Set("threads", static_cast<uint64_t>(threads));
+  doc.Set("total_seconds", total_seconds);
+  doc.Set("phase1_seconds", phase1_seconds);
+  doc.Set("phase2_seconds", phase2_seconds);
+  Json counter_obj = Json::Object();
+  for (const auto &entry : counters) {
+    counter_obj.Set(entry.first, entry.second);
+  }
+  doc.Set("counters", std::move(counter_obj));
+  Json timing_obj = Json::Object();
+  for (const auto &entry : timings) {
+    timing_obj.Set(entry.first, entry.second);
+  }
+  doc.Set("timings", std::move(timing_obj));
+  return doc;
+}
+
+void RegistryDelta::AddTo(QueryProfile &profile) const {
+  std::map<std::string, uint64_t> now = registry_.Snapshot();
+  for (const auto &entry : now) {
+    auto it = begin_.find(entry.first);
+    uint64_t before = it == begin_.end() ? 0 : it->second;
+    if (entry.second > before) {
+      profile.AddCounter(entry.first, entry.second - before);
+    }
+  }
+}
+
+}  // namespace ssagg

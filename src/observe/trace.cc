@@ -1,0 +1,143 @@
+#include "observe/trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace ssagg {
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder &TraceRecorder::Global() {
+  // Leaked so instrumented code may emit during static destruction; the
+  // atexit flush below still sees a live recorder.
+  static TraceRecorder *global = []() {
+    auto *recorder = new TraceRecorder();
+    if (const char *path = std::getenv("SSAGG_TRACE")) {
+      if (path[0] != '\0') {
+        recorder->Enable(path);
+        std::atexit([]() { (void)TraceRecorder::Global().Flush(); });
+      }
+    }
+    return recorder;
+  }();
+  return *global;
+}
+
+void TraceRecorder::Enable(std::string path) {
+  std::lock_guard<std::mutex> guard(lock_);
+  path_ = std::move(path);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+uint64_t TraceRecorder::NowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+uint32_t TraceRecorder::CurrentTid() {
+  thread_local uint32_t tid = 0;
+  if (tid == 0) {
+    std::lock_guard<std::mutex> guard(lock_);
+    tid = next_tid_++;
+  }
+  return tid;
+}
+
+void TraceRecorder::Push(Event event) {
+  std::lock_guard<std::mutex> guard(lock_);
+  events_.push_back(event);
+}
+
+void TraceRecorder::EmitSpan(const char *name, const char *category,
+                             uint64_t ts_us, uint64_t dur_us, idx_t arg) {
+  if (!enabled()) {
+    return;
+  }
+  Push(Event{name, category, 'X', CurrentTid(), ts_us, dur_us, arg});
+}
+
+void TraceRecorder::EmitInstant(const char *name, const char *category,
+                                idx_t arg) {
+  if (!enabled()) {
+    return;
+  }
+  Push(Event{name, category, 'i', CurrentTid(), NowMicros(), 0, arg});
+}
+
+void TraceRecorder::EmitCounter(const char *name, uint64_t value) {
+  if (!enabled()) {
+    return;
+  }
+  Push(Event{name, "counter", 'C', CurrentTid(), NowMicros(), 0, value});
+}
+
+Json TraceRecorder::ToJson() const {
+  Json events = Json::Array();
+  std::lock_guard<std::mutex> guard(lock_);
+  for (const Event &event : events_) {
+    Json e = Json::Object();
+    e.Set("name", event.name);
+    e.Set("cat", event.category);
+    e.Set("ph", std::string(1, event.phase));
+    e.Set("pid", uint64_t(1));
+    e.Set("tid", static_cast<uint64_t>(event.tid));
+    e.Set("ts", event.ts_us);
+    if (event.phase == 'X') {
+      e.Set("dur", event.dur_us);
+    }
+    if (event.phase == 'i') {
+      e.Set("s", "t");  // thread-scoped instant
+    }
+    if (event.phase == 'C') {
+      e.Set("args", Json::Object().Set("value", event.arg));
+    } else if (event.arg != kInvalidIndex) {
+      e.Set("args", Json::Object().Set("v", event.arg));
+    }
+    events.Push(std::move(e));
+  }
+  Json doc = Json::Object();
+  doc.Set("traceEvents", std::move(events));
+  doc.Set("displayTimeUnit", "ms");
+  return doc;
+}
+
+Status TraceRecorder::Flush() const {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> guard(lock_);
+    path = path_;
+  }
+  if (path.empty()) {
+    return Status::OK();
+  }
+  std::string text = ToJson().Dump(1);
+  std::FILE *f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace file " + path);
+  }
+  size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) {
+    return Status::IOError("short write to trace file " + path);
+  }
+  return Status::OK();
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> guard(lock_);
+  events_.clear();
+}
+
+idx_t TraceRecorder::EventCount() const {
+  std::lock_guard<std::mutex> guard(lock_);
+  return events_.size();
+}
+
+}  // namespace ssagg

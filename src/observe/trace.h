@@ -1,0 +1,121 @@
+#ifndef SSAGG_OBSERVE_TRACE_H_
+#define SSAGG_OBSERVE_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/constants.h"
+#include "common/status.h"
+#include "observe/json.h"
+
+namespace ssagg {
+
+/// Records timeline events in the Chrome trace-event JSON format, loadable
+/// in chrome://tracing and Perfetto. Disabled it costs one relaxed atomic
+/// load per would-be span; enabled it buffers fixed-size events (no
+/// allocation per event beyond vector growth) under a mutex — spans are
+/// emitted at morsel/phase/spill granularity, never from per-row loops.
+///
+/// Zero-code-change switch: setting SSAGG_TRACE=<path> in the environment
+/// enables the global recorder at first use and flushes the file at
+/// process exit (and whenever Flush() is called explicitly, e.g. after
+/// each RunGroupedAggregation).
+///
+/// Span names and categories must be string literals (or otherwise outlive
+/// the recorder): events store the pointers.
+class TraceRecorder {
+ public:
+  TraceRecorder();
+
+  TraceRecorder(const TraceRecorder &) = delete;
+  TraceRecorder &operator=(const TraceRecorder &) = delete;
+
+  /// The recorder instrumented code emits into. Reads SSAGG_TRACE once.
+  static TraceRecorder &Global();
+
+  /// Starts recording; Flush() and process exit write to `path` (empty:
+  /// buffer only, fetch with ToJson — used by tests).
+  void Enable(std::string path);
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Microseconds since the recorder was constructed.
+  uint64_t NowMicros() const;
+
+  /// Complete event (ph "X"): a span of `dur_us` starting at `ts_us` on the
+  /// calling thread's track. `arg` lands in the event's args as "v" when
+  /// not kInvalidIndex.
+  void EmitSpan(const char *name, const char *category, uint64_t ts_us,
+                uint64_t dur_us, idx_t arg = kInvalidIndex);
+  /// Instant event (ph "i"): a point occurrence (HT reset, eviction, ...).
+  void EmitInstant(const char *name, const char *category,
+                   idx_t arg = kInvalidIndex);
+  /// Counter event (ph "C"): plots `value` over time under `name`.
+  void EmitCounter(const char *name, uint64_t value);
+
+  /// The buffered events as a Chrome-trace JSON document.
+  Json ToJson() const;
+  /// Writes the buffered events to `path` (from Enable). No-op when
+  /// recording to a buffer only.
+  Status Flush() const;
+  void Clear();
+  idx_t EventCount() const;
+
+ private:
+  struct Event {
+    const char *name;
+    const char *category;
+    char phase;      // 'X', 'i', 'C'
+    uint32_t tid;
+    uint64_t ts_us;
+    uint64_t dur_us;  // 'X' only
+    idx_t arg;        // kInvalidIndex: absent; 'C': the counter value
+  };
+
+  uint32_t CurrentTid();
+  void Push(Event event);
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex lock_;
+  std::string path_;
+  std::vector<Event> events_;
+  uint32_t next_tid_ = 1;
+};
+
+/// RAII span: records a complete event over its lifetime when the global
+/// recorder is enabled; a single relaxed load otherwise.
+class TraceSpan {
+ public:
+  TraceSpan(const char *name, const char *category, idx_t arg = kInvalidIndex)
+      : name_(name), category_(category), arg_(arg) {
+    TraceRecorder &recorder = TraceRecorder::Global();
+    if (recorder.enabled()) {
+      recorder_ = &recorder;
+      start_us_ = recorder.NowMicros();
+    }
+  }
+  ~TraceSpan() {
+    if (recorder_ != nullptr) {
+      recorder_->EmitSpan(name_, category_, start_us_,
+                          recorder_->NowMicros() - start_us_, arg_);
+    }
+  }
+
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+ private:
+  const char *name_;
+  const char *category_;
+  idx_t arg_;
+  TraceRecorder *recorder_ = nullptr;
+  uint64_t start_us_ = 0;
+};
+
+}  // namespace ssagg
+
+#endif  // SSAGG_OBSERVE_TRACE_H_

@@ -5,6 +5,8 @@
 #include <queue>
 
 #include "common/string_heap.h"
+#include "observe/metrics.h"
+#include "observe/trace.h"
 #include "sort/row_compare.h"
 
 namespace ssagg {
@@ -161,6 +163,7 @@ Status ExternalSortAggregate::SortAndSpill(LocalState &local) {
   if (local.rows.empty()) {
     return Status::OK();
   }
+  TraceSpan span("sort.spill_run", "sort", local.rows.size());
   const TupleDataLayout &layout = run_layout_;
   const idx_t ncols = group_count_;
   std::sort(local.rows.begin(), local.rows.end(),
@@ -177,6 +180,12 @@ Status ExternalSortAggregate::SortAndSpill(LocalState &local) {
   }
   SSAGG_RETURN_NOT_OK(writer.Finish());
   run_bytes_.fetch_add(writer.BytesWritten());
+  {
+    MetricsRegistry &registry = MetricsRegistry::Global();
+    registry.Add(registry.KeyId("sort.runs"), 1);
+    registry.Add(registry.KeyId("sort.run_rows"), local.rows.size());
+    registry.Add(registry.KeyId("sort.run_bytes"), writer.BytesWritten());
+  }
   {
     std::lock_guard<std::mutex> guard(lock_);
     runs_.push_back(RunInfo{path, writer.RowCount()});
@@ -197,6 +206,8 @@ Status ExternalSortAggregate::EmitResults(DataSink &output,
   if (runs_.empty()) {
     return Status::OK();
   }
+  TraceSpan span("sort.merge", "sort", runs_.size());
+  merge_fan_in_ = runs_.size();
   struct MergeSource {
     std::unique_ptr<RunReader> reader;
     std::vector<data_ptr_t> rows;
@@ -409,6 +420,12 @@ Status ExternalSortAggregate::EmitResults(DataSink &output,
     }
   }
   cleanup();
+  merged_rows_ = merged_rows;
+  {
+    MetricsRegistry &registry = MetricsRegistry::Global();
+    registry.Add(registry.KeyId("sort.merge_fan_in"), merge_fan_in_);
+    registry.Add(registry.KeyId("sort.merged_rows"), merged_rows);
+  }
   return status;
 }
 

@@ -54,6 +54,11 @@ class ExternalSortAggregate : public DataSink {
 
   idx_t RunCount() const { return runs_.size(); }
   idx_t RunBytes() const { return run_bytes_.load(); }
+  /// Number of runs the merge phase streamed together (0 before
+  /// EmitResults).
+  idx_t MergeFanIn() const { return merge_fan_in_; }
+  /// Input rows consumed by the merge phase.
+  idx_t MergedRows() const { return merged_rows_; }
 
  private:
   struct RunInfo {
@@ -90,6 +95,8 @@ class ExternalSortAggregate : public DataSink {
   std::vector<RunInfo> runs_;
   std::atomic<idx_t> next_run_id_{0};
   std::atomic<idx_t> run_bytes_{0};
+  idx_t merge_fan_in_ = 0;
+  idx_t merged_rows_ = 0;
 };
 
 }  // namespace ssagg

@@ -1,0 +1,344 @@
+// Tests for the observability subsystem: metrics-registry exactness under
+// concurrency, JSON round trips, trace-event well-formedness, and the
+// QueryProfile counters of a spilling aggregation against the
+// temporary-file manager's ground truth.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "common/file_system.h"
+#include "core/run_aggregation.h"
+#include "execution/collectors.h"
+#include "execution/range_source.h"
+#include "observe/json.h"
+#include "observe/metrics.h"
+#include "observe/profile.h"
+#include "observe/trace.h"
+
+namespace ssagg {
+namespace {
+
+// ---------------------------------------------------------------- metrics
+
+TEST(MetricsRegistryTest, ConcurrentUpdatesSumExactly) {
+  MetricsRegistry registry;
+  idx_t key_a = registry.KeyId("test.a");
+  idx_t key_b = registry.KeyId("test.b");
+  ASSERT_NE(key_a, key_b);
+  EXPECT_EQ(registry.KeyId("test.a"), key_a) << "key ids must be stable";
+
+  constexpr idx_t kThreads = 8;
+  constexpr uint64_t kIncrements = 100000;
+  std::vector<std::thread> threads;
+  for (idx_t t = 0; t < kThreads; t++) {
+    threads.emplace_back([&registry, key_a, key_b, t]() {
+      for (uint64_t i = 0; i < kIncrements; i++) {
+        registry.Add(key_a, 1);
+        registry.Add(key_b, t + 1);
+      }
+    });
+  }
+  for (auto &thread : threads) {
+    thread.join();
+  }
+  // Exactness: every increment from every (now joined) thread is retained —
+  // shards outlive their threads.
+  EXPECT_EQ(registry.Value("test.a"), kThreads * kIncrements);
+  uint64_t expected_b = 0;
+  for (idx_t t = 0; t < kThreads; t++) {
+    expected_b += (t + 1) * kIncrements;
+  }
+  EXPECT_EQ(registry.Value("test.b"), expected_b);
+
+  auto snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.at("test.a"), kThreads * kIncrements);
+  EXPECT_EQ(snapshot.at("test.b"), expected_b);
+
+  registry.Reset();
+  EXPECT_EQ(registry.Value("test.a"), 0u);
+  EXPECT_EQ(registry.KeyCount(), 2u) << "Reset keeps keys registered";
+}
+
+TEST(MetricsRegistryTest, TwoRegistriesDoNotAlias) {
+  // Alternating between registries on one thread exercises the one-entry
+  // thread-local shard cache: a stale cache hit would cross-count.
+  MetricsRegistry first;
+  MetricsRegistry second;
+  idx_t key_first = first.KeyId("x");
+  idx_t key_second = second.KeyId("x");
+  for (int i = 0; i < 1000; i++) {
+    first.Add(key_first, 1);
+    second.Add(key_second, 2);
+  }
+  EXPECT_EQ(first.Value("x"), 1000u);
+  EXPECT_EQ(second.Value("x"), 2000u);
+}
+
+TEST(MetricsRegistryTest, ScopedTimerAccumulatesNanoseconds) {
+  MetricsRegistry registry;
+  idx_t key = registry.KeyId("test.elapsed_ns");
+  {
+    ScopedTimerNs timer(registry, key);
+    volatile uint64_t sink = 0;
+    for (uint64_t i = 0; i < 100000; i++) {
+      sink += i;
+    }
+  }
+  EXPECT_GT(registry.Value("test.elapsed_ns"), 0u);
+}
+
+// ------------------------------------------------------------------- json
+
+TEST(JsonTest, RoundTripPreservesStructureAndValues) {
+  Json doc = Json::Object();
+  doc.Set("uint", Json(uint64_t(1) << 63 | 7));
+  doc.Set("int", Json(int64_t(-42)));
+  doc.Set("double", Json(2.5));
+  doc.Set("bool", Json(true));
+  doc.Set("null", Json());
+  doc.Set("string", Json("quote\" backslash\\ newline\n tab\t"));
+  Json array = Json::Array();
+  array.Push(Json(uint64_t(1)));
+  array.Push(Json("two"));
+  Json nested = Json::Object();
+  nested.Set("deep", Json(uint64_t(3)));
+  array.Push(std::move(nested));
+  doc.Set("array", std::move(array));
+
+  for (int indent : {0, 2}) {
+    auto parsed = Json::Parse(doc.Dump(indent));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    const Json &p = parsed.value();
+    EXPECT_EQ(p.Find("uint")->AsUint(), uint64_t(1) << 63 | 7)
+        << "counters must survive bit-exactly";
+    EXPECT_EQ(p.Find("int")->AsInt(), -42);
+    EXPECT_EQ(p.Find("double")->AsDouble(), 2.5);
+    EXPECT_TRUE(p.Find("bool")->AsBool());
+    EXPECT_TRUE(p.Find("null")->IsNull());
+    EXPECT_EQ(p.Find("string")->AsString(),
+              "quote\" backslash\\ newline\n tab\t");
+    const Json *arr = p.Find("array");
+    ASSERT_TRUE(arr != nullptr && arr->IsArray());
+    ASSERT_EQ(arr->elements().size(), 3u);
+    EXPECT_EQ(arr->elements()[0].AsUint(), 1u);
+    EXPECT_EQ(arr->elements()[1].AsString(), "two");
+    EXPECT_EQ(arr->elements()[2].Find("deep")->AsUint(), 3u);
+  }
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  for (const char *bad : {"", "{", "[1,]", "{\"a\":}", "tru", "\"unterminated",
+                          "{\"a\":1} trailing"}) {
+    EXPECT_FALSE(Json::Parse(bad).ok()) << "accepted: " << bad;
+  }
+}
+
+TEST(JsonTest, ParsesUnicodeEscapes) {
+  auto parsed = Json::Parse("\"\\u0041\\u00e9\"");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().AsString(), "A\xc3\xa9");
+}
+
+// ------------------------------------------------------------------ trace
+
+struct SpanEvent {
+  uint64_t tid;
+  uint64_t start;
+  uint64_t end;
+};
+
+/// Spans on one thread's track must be laminar: any two either disjoint or
+/// one containing the other (RAII spans cannot partially overlap).
+void CheckLaminarNesting(const std::vector<SpanEvent> &spans) {
+  for (idx_t i = 0; i < spans.size(); i++) {
+    for (idx_t j = i + 1; j < spans.size(); j++) {
+      const SpanEvent &a = spans[i];
+      const SpanEvent &b = spans[j];
+      if (a.tid != b.tid) {
+        continue;
+      }
+      bool disjoint = a.end <= b.start || b.end <= a.start;
+      bool a_in_b = b.start <= a.start && a.end <= b.end;
+      bool b_in_a = a.start <= b.start && b.end <= a.end;
+      EXPECT_TRUE(disjoint || a_in_b || b_in_a)
+          << "spans partially overlap on tid " << a.tid << ": [" << a.start
+          << "," << a.end << ") vs [" << b.start << "," << b.end << ")";
+    }
+  }
+}
+
+TEST(TraceRecorderTest, RoundTripsWithWellFormedNesting) {
+  TraceRecorder &recorder = TraceRecorder::Global();
+  recorder.Clear();
+  recorder.Enable("");  // buffer only
+
+  {
+    TraceSpan outer("outer", "test", 1);
+    {
+      TraceSpan inner("inner", "test");
+      recorder.EmitInstant("tick", "test", 7);
+    }
+    TraceSpan sibling("sibling", "test");
+  }
+  std::thread worker([]() {
+    TraceSpan outer("thread_outer", "test");
+    TraceSpan inner("thread_inner", "test");
+  });
+  worker.join();
+  recorder.EmitCounter("cnt", 42);
+  recorder.Disable();
+  ASSERT_GE(recorder.EventCount(), 6u);
+
+  // Round trip: everything the recorder dumps must parse back.
+  auto parsed = Json::Parse(recorder.ToJson().Dump(1));
+  recorder.Clear();
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Json *events = parsed.value().Find("traceEvents");
+  ASSERT_TRUE(events != nullptr && events->IsArray());
+
+  std::vector<SpanEvent> spans;
+  bool saw_instant = false;
+  bool saw_counter = false;
+  for (const Json &event : events->elements()) {
+    // Chrome-trace required fields.
+    ASSERT_TRUE(event.Find("name") != nullptr);
+    ASSERT_TRUE(event.Find("ph") != nullptr);
+    ASSERT_TRUE(event.Find("pid") != nullptr);
+    ASSERT_TRUE(event.Find("tid") != nullptr);
+    ASSERT_TRUE(event.Find("ts") != nullptr);
+    const std::string &phase = event.Find("ph")->AsString();
+    if (phase == "X") {
+      const Json *dur = event.Find("dur");
+      ASSERT_TRUE(dur != nullptr) << "complete event without dur";
+      uint64_t ts = event.Find("ts")->AsUint();
+      spans.push_back(
+          {event.Find("tid")->AsUint(), ts, ts + dur->AsUint()});
+    } else if (phase == "i") {
+      saw_instant = true;
+      EXPECT_EQ(event.Find("s")->AsString(), "t");
+      EXPECT_EQ(event.Find("args")->Find("v")->AsUint(), 7u);
+    } else if (phase == "C") {
+      saw_counter = true;
+      EXPECT_EQ(event.Find("args")->Find("value")->AsUint(), 42u);
+    }
+  }
+  EXPECT_EQ(spans.size(), 5u);
+  EXPECT_TRUE(saw_instant);
+  EXPECT_TRUE(saw_counter);
+  CheckLaminarNesting(spans);
+
+  // The two spans of the worker thread must be on their own track.
+  std::vector<uint64_t> tids;
+  for (const auto &span : spans) {
+    tids.push_back(span.tid);
+  }
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  EXPECT_EQ(tids.size(), 2u);
+}
+
+TEST(TraceRecorderTest, DisabledRecorderStaysSilent) {
+  TraceRecorder &recorder = TraceRecorder::Global();
+  recorder.Disable();
+  recorder.Clear();
+  {
+    TraceSpan span("ignored", "test");
+    recorder.EmitInstant("ignored", "test");
+  }
+  EXPECT_EQ(recorder.EventCount(), 0u);
+}
+
+// ---------------------------------------------------------------- profile
+
+TEST(QueryProfileTest, SpillCountersMatchTemporaryFileGroundTruth) {
+  std::string temp_dir = ::testing::TempDir() + "ssagg_observe_test";
+  ASSERT_TRUE(FileSystem::CreateDirectories(temp_dir).ok());
+  // Trace the query too: a spilling run must produce balanced spans.
+  TraceRecorder &recorder = TraceRecorder::Global();
+  recorder.Clear();
+  recorder.Enable("");
+
+  // Memory limit below the intermediate size: phase 1 must spill and
+  // phase 2 reload (mirrors the external-aggregation e2e test).
+  BufferManager bm(temp_dir, 160 * kPageSize);
+  TaskExecutor executor(2);
+  // All-unique keys at ~32 B of row each: well past the 40 MiB limit.
+  constexpr idx_t kRows = 2000000;
+  RangeSource source({LogicalTypeId::kInt64, LogicalTypeId::kInt64}, kRows,
+                     [](DataChunk &chunk, idx_t start, idx_t count) {
+                       for (idx_t i = 0; i < count; i++) {
+                         auto row = static_cast<int64_t>(start + i);
+                         chunk.column(0).SetValue<int64_t>(i, row);
+                         chunk.column(1).SetValue<int64_t>(i, row * 2);
+                       }
+                       return Status::OK();
+                     });
+  CountingCollector collector;
+  HashAggregateConfig config;
+  config.phase1_capacity = 1024;
+  config.radix_bits = 3;
+  QueryProfile profile;
+  auto stats = RunGroupedAggregation(bm, source, {0},
+                                     {{AggregateKind::kSum, 1}}, collector,
+                                     executor, config, &profile);
+  recorder.Disable();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(collector.TotalRows(), kRows);
+
+  // Ground truth: the temporary-file manager's own byte accounting.
+  TemporaryFileManager &temp_files = bm.temp_files();
+  EXPECT_GT(temp_files.BytesWritten(), 0u) << "query was expected to spill";
+  EXPECT_EQ(profile.Counter("io.spill_bytes_written"),
+            temp_files.BytesWritten());
+  EXPECT_EQ(profile.Counter("io.spill_bytes_read"), temp_files.BytesRead());
+
+  BufferManagerSnapshot snapshot = bm.Snapshot();
+  EXPECT_EQ(profile.Counter("io.spill_writes"), snapshot.temp_writes);
+  EXPECT_EQ(profile.Counter("io.spill_reads"), snapshot.temp_reads);
+  EXPECT_EQ(profile.Counter("bm.evictions_temporary_spilled"),
+            snapshot.evicted_temporary_count);
+
+  // Operator and executor counters made it into the profile.
+  EXPECT_EQ(profile.Counter("agg.unique_groups"), kRows);
+  EXPECT_EQ(profile.Counter("exec.rows"), kRows);
+  EXPECT_GT(profile.phase1_seconds, 0.0);
+  EXPECT_GT(profile.phase2_seconds, 0.0);
+  EXPECT_EQ(profile.threads, 2u);
+
+  // The trace of the spilling query: spans parse and nest per thread, and
+  // the spill I/O shows up.
+  auto parsed = Json::Parse(recorder.ToJson().Dump());
+  recorder.Clear();
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  std::vector<SpanEvent> spans;
+  bool saw_spill_write = false;
+  bool saw_spill_read = false;
+  for (const Json &event : parsed.value().Find("traceEvents")->elements()) {
+    const std::string &name = event.Find("name")->AsString();
+    saw_spill_write |= name == "spill.write";
+    saw_spill_read |= name == "spill.read";
+    if (event.Find("ph")->AsString() == "X") {
+      uint64_t ts = event.Find("ts")->AsUint();
+      spans.push_back(
+          {event.Find("tid")->AsUint(), ts, ts + event.Find("dur")->AsUint()});
+    }
+  }
+  EXPECT_TRUE(saw_spill_write);
+  EXPECT_TRUE(saw_spill_read);
+  CheckLaminarNesting(spans);
+
+  // The profile serializes and round-trips.
+  auto profile_round_trip = Json::Parse(profile.ToJson().Dump(2));
+  ASSERT_TRUE(profile_round_trip.ok());
+  EXPECT_EQ(profile_round_trip.value()
+                .Find("counters")
+                ->Find("io.spill_bytes_written")
+                ->AsUint(),
+            temp_files.BytesWritten());
+}
+
+}  // namespace
+}  // namespace ssagg
