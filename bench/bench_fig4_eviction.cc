@@ -103,7 +103,7 @@ int main() {
   // Build the persistent lineitem table once (only the scanned column plus
   // a few others, to keep the build fast but the table non-trivial).
   std::string db_path = options.temp_dir + "/fig4_lineitem.db";
-  (void)FileSystem::CreateDirectories(options.temp_dir);
+  (void)FileSystem::Default().CreateDirectories(options.temp_dir);
   auto block_mgr_res = FileBlockManager::Create(db_path);
   if (!block_mgr_res.ok()) {
     std::printf("cannot create db: %s\n",
@@ -242,6 +242,6 @@ int main() {
               Json(static_cast<uint64_t>(materialized_bytes)));
   payload.Set("scenarios", std::move(scenarios));
   WriteResultsJson("bench_fig4_eviction", options, std::move(payload));
-  (void)FileSystem::RemoveFile(db_path);
+  (void)FileSystem::Default().RemoveFile(db_path);
   return 0;
 }

@@ -155,7 +155,7 @@ int main() {
   const char *tmp_env = std::getenv("SSAGG_BENCH_TMPDIR");
   std::string temp_dir =
       tmp_env != nullptr ? std::string(tmp_env) : "/tmp/ssagg_bench_probe";
-  (void)FileSystem::CreateDirectories(temp_dir);
+  (void)FileSystem::Default().CreateDirectories(temp_dir);
 
   std::vector<idx_t> group_counts = {10, 1'000, 100'000, 1'000'000,
                                      10'000'000};

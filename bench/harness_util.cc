@@ -146,7 +146,7 @@ std::string WriteResultsJson(const std::string &bench_name,
   for (const auto &member : payload.members()) {
     document.Set(member.first, member.second);
   }
-  Status status = FileSystem::CreateDirectories("results");
+  Status status = FileSystem::Default().CreateDirectories("results");
   std::string path = "results/" + bench_name + ".json";
   std::FILE *f = status.ok() ? std::fopen(path.c_str(), "w") : nullptr;
   if (f == nullptr) {

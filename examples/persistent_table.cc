@@ -12,7 +12,7 @@ using namespace ssagg;  // NOLINT(build/namespaces)
 
 int main() {
   const std::string dir = "/tmp/ssagg_persistent";
-  (void)FileSystem::CreateDirectories(dir);
+  (void)FileSystem::Default().CreateDirectories(dir);
 
   // 1. Create a database file and a table in it.
   auto block_mgr_res = FileBlockManager::Create(dir + "/shop.db");

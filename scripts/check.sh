@@ -8,6 +8,11 @@
 # (spilling) query with SSAGG_TRACE on, asserting that the emitted profile
 # saw real spill I/O and that the trace's spans are balanced per thread.
 #
+# The sanitizer build additionally re-runs the fault-injection sweeps on
+# their own: every injected I/O and allocation failure unwinds under
+# ASan+UBSan, which is where leaked pins and double-frees on error paths
+# actually surface.
+#
 # Usage: scripts/check.sh [--asan-only|--plain-only]
 set -euo pipefail
 
@@ -76,9 +81,17 @@ if [[ "$MODE" != "--asan-only" ]]; then
   profile_smoke build
 fi
 
+fault_sweep_smoke() {
+  local dir="$1"
+  echo "=== fault sweep smoke (sanitized error-path unwinding) ==="
+  "$dir/tests/ssagg_tests" \
+      --gtest_filter='FaultSweepTest.*:SortSpillSweepTest.*:PartitionSpillSweepTest.*:SpillStressTest.*'
+}
+
 if [[ "$MODE" != "--plain-only" ]]; then
   echo "=== ASan+UBSan build + ctest ==="
   run_build build-san -DSSAGG_SANITIZE=address,undefined
+  fault_sweep_smoke build-san
 fi
 
 echo "all checks passed"

@@ -111,8 +111,21 @@ Result<std::unique_ptr<TwoLevelSpillAggregate>> TwoLevelSpillAggregate::Create(
   std::unique_ptr<TwoLevelSpillAggregate> op(new TwoLevelSpillAggregate(
       buffer_manager, std::move(row_layout), config));
   op->partition_runs_.resize(idx_t(1) << config.radix_bits);
-  SSAGG_RETURN_NOT_OK(FileSystem::CreateDirectories(config.temp_directory));
+  SSAGG_RETURN_NOT_OK(
+      buffer_manager.fs().CreateDirectories(config.temp_directory));
   return op;
+}
+
+TwoLevelSpillAggregate::~TwoLevelSpillAggregate() { RemoveRunFiles(); }
+
+void TwoLevelSpillAggregate::RemoveRunFiles() {
+  std::lock_guard<std::mutex> guard(lock_);
+  for (auto &runs : partition_runs_) {
+    for (const auto &run : runs) {
+      (void)buffer_manager_.fs().RemoveFile(run.path);
+    }
+    runs.clear();
+  }
 }
 
 Result<std::unique_ptr<LocalSinkState>> TwoLevelSpillAggregate::InitLocal() {
@@ -136,18 +149,25 @@ Status TwoLevelSpillAggregate::SpillLocal(LocalState &local) {
     }
     idx_t run_id = next_run_id_.fetch_add(1);
     std::string path = config_.temp_directory + "/ssagg_chm_run_" +
-                       std::to_string(run_id) + ".tmp";
-    RunWriter writer(row_layout_.layout, path);
-    SSAGG_RETURN_NOT_OK(writer.Open());
+                       run_token_ + "_" + std::to_string(run_id) + ".tmp";
+    RunWriter writer(row_layout_.layout, path, buffer_manager_.fs());
     // Serialize every row of the partition (states included).
-    Status write_status;
-    SSAGG_RETURN_NOT_OK(data.ForEachRowInPartition(p, [&](data_ptr_t row) {
-      if (write_status.ok()) {
-        write_status = writer.WriteRow(row);
-      }
-    }));
-    SSAGG_RETURN_NOT_OK(write_status);
-    SSAGG_RETURN_NOT_OK(writer.Finish());
+    Status write_status = writer.Open();
+    if (write_status.ok()) {
+      SSAGG_RETURN_NOT_OK(data.ForEachRowInPartition(p, [&](data_ptr_t row) {
+        if (write_status.ok()) {
+          write_status = writer.WriteRow(row);
+        }
+      }));
+    }
+    if (write_status.ok()) {
+      write_status = writer.Finish();
+    }
+    if (!write_status.ok()) {
+      // The run was never registered; remove its partial file.
+      (void)buffer_manager_.fs().RemoveFile(path);
+      return write_status;
+    }
     spilled_bytes_.fetch_add(writer.BytesWritten());
     std::lock_guard<std::mutex> guard(lock_);
     partition_runs_[p].push_back(RunInfo{path, writer.RowCount()});
@@ -222,7 +242,8 @@ Status TwoLevelSpillAggregate::AggregatePartition(idx_t partition_idx,
   }
   // Merge the spilled runs: every row pays a deserialize.
   for (const auto &run : runs) {
-    RunReader reader(row_layout_.layout, run.path, run.rows);
+    RunReader reader(row_layout_.layout, run.path, run.rows,
+                     buffer_manager_.fs());
     SSAGG_RETURN_NOT_OK(reader.Open());
     while (true) {
       src_rows.clear();
@@ -237,6 +258,10 @@ Status TwoLevelSpillAggregate::AggregatePartition(idx_t partition_idx,
           ht->CombineSourceChunk(layout_chunk, src_rows.data()));
     }
     SSAGG_RETURN_NOT_OK(reader.Remove());
+  }
+  {
+    std::lock_guard<std::mutex> guard(lock_);
+    partition_runs_[partition_idx].clear();
   }
 
   ht->ClearPointerTable();

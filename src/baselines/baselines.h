@@ -73,6 +73,9 @@ class TwoLevelSpillAggregate : public DataSink {
       std::vector<idx_t> group_columns,
       std::vector<AggregateRequest> aggregates, Config config);
 
+  /// Removes run files the merge phase did not get to consume.
+  ~TwoLevelSpillAggregate() override;
+
   std::vector<LogicalTypeId> OutputTypes() const {
     return row_layout_.OutputTypes();
   }
@@ -105,6 +108,9 @@ class TwoLevelSpillAggregate : public DataSink {
   Status AggregatePartition(idx_t partition_idx, DataSink &output,
                             TaskExecutor &executor);
 
+  /// Deletes every registered run file and forgets it.
+  void RemoveRunFiles();
+
   BufferManager &buffer_manager_;
   AggregateRowLayout row_layout_;
   Config config_;
@@ -113,6 +119,9 @@ class TwoLevelSpillAggregate : public DataSink {
   std::unique_ptr<PartitionedTupleData> global_data_;
   std::vector<std::vector<RunInfo>> partition_runs_;
   std::atomic<idx_t> next_run_id_{0};
+  /// Embedded in run-file names: temp directories are shared across
+  /// operator instances and concurrent processes.
+  const std::string run_token_ = ProcessUniqueToken();
   std::atomic<bool> spilled_{false};
   std::atomic<idx_t> spilled_bytes_{0};
 };

@@ -5,6 +5,7 @@
 #include "observe/log.h"
 #include "observe/metrics.h"
 #include "observe/trace.h"
+#include "testing/fault_injector.h"
 
 namespace ssagg {
 
@@ -59,11 +60,12 @@ void NonPagedAllocation::Reset() {
 //===----------------------------------------------------------------------===//
 
 BufferManager::BufferManager(std::string temp_directory, idx_t memory_limit,
-                             EvictionPolicy policy)
+                             EvictionPolicy policy, FileSystem &fs)
     : temp_directory_(std::move(temp_directory)),
+      fs_(fs),
       memory_limit_(memory_limit),
       policy_(policy),
-      temp_files_(temp_directory_) {
+      temp_files_(temp_directory_, fs) {
   MetricsRegistry &registry = MetricsRegistry::Global();
   key_evict_persistent_ = registry.KeyId("bm.evictions_persistent");
   key_evict_temp_spilled_ = registry.KeyId("bm.evictions_temporary_spilled");
@@ -212,7 +214,19 @@ Result<std::unique_ptr<FileBuffer>> BufferManager::EvictOneBlock(
     } else {
       SSAGG_LOG_DEBUG("spilling temporary block of %llu bytes",
                       static_cast<unsigned long long>(size));
-      SSAGG_RETURN_NOT_OK(SpillBlock(*candidate));
+      Status spill = SpillBlock(*candidate);
+      if (!spill.ok()) {
+        // The block stays loaded and unpinned; re-enqueue it so it remains
+        // an eviction candidate for later reservations (its previous queue
+        // entry was consumed above). The failed reservation propagates.
+        uint64_t seq =
+            candidate->eviction_seq_.fetch_add(1, std::memory_order_relaxed) +
+            1;
+        std::lock_guard<std::mutex> guard(queue_lock_);
+        queues_[QueueIndex(candidate->kind_)].push_back(
+            EvictionEntry{candidate->weak_from_this(), seq});
+        return spill;
+      }
       evicted_temporary_count_.fetch_add(1, std::memory_order_relaxed);
       MetricsRegistry::Global().Add(key_evict_temp_spilled_, 1);
     }
@@ -232,6 +246,9 @@ Result<std::unique_ptr<FileBuffer>> BufferManager::EvictOneBlock(
 }
 
 Result<std::unique_ptr<FileBuffer>> BufferManager::ReserveMemory(idx_t size) {
+  if (fault_injector_ != nullptr) {
+    SSAGG_RETURN_NOT_OK(fault_injector_->Hit(FaultSite::kAllocate));
+  }
   while (true) {
     idx_t current = memory_used_.load(std::memory_order_relaxed);
     if (current + size <= memory_limit_.load(std::memory_order_relaxed)) {
@@ -269,6 +286,7 @@ Result<BufferHandle> BufferManager::Allocate(
   handle->buffer_ = std::move(buffer);
   handle->state_ = BlockState::kLoaded;
   handle->readers_.store(1, std::memory_order_relaxed);
+  pinned_buffers_.fetch_add(1, std::memory_order_relaxed);
   ChargeLoaded(kind, size);
   if (out_handle) {
     *out_handle = handle;
@@ -286,12 +304,16 @@ std::shared_ptr<BlockHandle> BufferManager::RegisterPersistentBlock(
 
 Result<BufferHandle> BufferManager::Pin(
     const std::shared_ptr<BlockHandle> &handle) {
+  if (fault_injector_ != nullptr) {
+    SSAGG_RETURN_NOT_OK(fault_injector_->Hit(FaultSite::kPin));
+  }
   std::unique_lock<std::mutex> lock(handle->lock_);
   if (handle->destroyed_) {
     return Status::Aborted("pin of a destroyed block");
   }
   if (handle->state_ == BlockState::kLoaded) {
     handle->readers_.fetch_add(1, std::memory_order_relaxed);
+    pinned_buffers_.fetch_add(1, std::memory_order_relaxed);
     // Invalidate any queued eviction entries for this block.
     handle->eviction_seq_.fetch_add(1, std::memory_order_relaxed);
     return BufferHandle(handle, handle->buffer_.get());
@@ -310,12 +332,19 @@ Result<BufferHandle> BufferManager::Pin(
     case BlockKind::kTemporaryFixed:
       SSAGG_ASSERT(handle->temp_slot_ != kInvalidIndex);
       read_status = temp_files_.ReadFixedBlock(handle->temp_slot_, *buffer);
-      handle->temp_slot_ = kInvalidIndex;
+      // The slot is only released on success; a failed read keeps the
+      // block's spill state so its space is reclaimed when the handle is
+      // dropped (no leaked slot, no dangling reference).
+      if (read_status.ok()) {
+        handle->temp_slot_ = kInvalidIndex;
+      }
       break;
     case BlockKind::kTemporaryVariable:
       SSAGG_ASSERT(handle->spilled_to_own_file_);
       read_status = temp_files_.ReadVariableBlock(handle->id_, *buffer);
-      handle->spilled_to_own_file_ = false;
+      if (read_status.ok()) {
+        handle->spilled_to_own_file_ = false;
+      }
       break;
   }
   if (!read_status.ok()) {
@@ -325,6 +354,7 @@ Result<BufferHandle> BufferManager::Pin(
   handle->buffer_ = std::move(buffer);
   handle->state_ = BlockState::kLoaded;
   handle->readers_.store(1, std::memory_order_relaxed);
+  pinned_buffers_.fetch_add(1, std::memory_order_relaxed);
   handle->eviction_seq_.fetch_add(1, std::memory_order_relaxed);
   ChargeLoaded(handle->kind_, handle->size_);
   return BufferHandle(handle, handle->buffer_.get());
@@ -333,6 +363,7 @@ Result<BufferHandle> BufferManager::Pin(
 void BufferManager::Unpin(BlockHandle &block) {
   std::unique_lock<std::mutex> lock(block.lock_);
   int32_t readers = block.readers_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  pinned_buffers_.fetch_sub(1, std::memory_order_relaxed);
   SSAGG_DASSERT(readers >= 0);
   if (readers != 0 || block.state_ != BlockState::kLoaded) {
     return;
@@ -452,6 +483,7 @@ BufferManagerSnapshot BufferManager::Snapshot() const {
   snap.spill_slot_reuses = temp_files_.SlotReuses();
   snap.spill_variable_files = temp_files_.VariableFilesCreated();
   snap.oom_rejections = oom_rejections_.load(std::memory_order_relaxed);
+  snap.pinned_buffers = PinnedBufferCount();
   return snap;
 }
 

@@ -12,9 +12,12 @@
 #include "buffer/file_block_manager.h"
 #include "buffer/temporary_file_manager.h"
 #include "common/constants.h"
+#include "common/file_system.h"
 #include "common/status.h"
 
 namespace ssagg {
+
+class FaultInjector;
 
 /// Which pages are evicted first when memory is needed (Section VII,
 /// "Loading & Spilling"). kMixed is DuckDB's default: one LRU queue for all
@@ -50,6 +53,10 @@ struct BufferManagerSnapshot {
   idx_t spill_variable_files = 0;
   /// Reservations rejected because nothing more could be evicted.
   idx_t oom_rejections = 0;
+  /// Outstanding pins (live BufferHandles) across all blocks. Must be zero
+  /// once no query state is alive — the no-leak invariant the fault suite
+  /// asserts after every injected failure.
+  idx_t pinned_buffers = 0;
 };
 
 /// RAII owner of a non-paged allocation (Section III): any-size, not
@@ -93,7 +100,8 @@ class NonPagedAllocation {
 class BufferManager {
  public:
   BufferManager(std::string temp_directory, idx_t memory_limit,
-                EvictionPolicy policy = EvictionPolicy::kMixed);
+                EvictionPolicy policy = EvictionPolicy::kMixed,
+                FileSystem &fs = FileSystem::Default());
   ~BufferManager();
 
   BufferManager(const BufferManager &) = delete;
@@ -145,6 +153,25 @@ class BufferManager {
 
   BufferManagerSnapshot Snapshot() const;
   TemporaryFileManager &temp_files() { return temp_files_; }
+  const TemporaryFileManager &temp_files() const { return temp_files_; }
+  /// The file system this pool (and its temporary files) performs I/O
+  /// through; operators spill through the same one so that fault injection
+  /// covers every layer.
+  FileSystem &fs() const { return fs_; }
+
+  /// Outstanding pins across all blocks (see
+  /// BufferManagerSnapshot::pinned_buffers).
+  idx_t PinnedBufferCount() const {
+    return static_cast<idx_t>(pinned_buffers_.load(std::memory_order_relaxed));
+  }
+
+  /// Installs (or clears, with nullptr) a fault injector consulted on every
+  /// memory reservation (FaultSite::kAllocate) and every Pin
+  /// (FaultSite::kPin), so tests can deny the Nth allocation/pin and prove
+  /// the failure unwinds cleanly. Not owned; must outlive its use.
+  void SetFaultInjector(FaultInjector *injector) {
+    fault_injector_ = injector;
+  }
 
   /// When disabled, temporary pages are never written to temporary files:
   /// the pool behaves like an in-memory-only engine's (persistent pages
@@ -193,9 +220,11 @@ class BufferManager {
   void DischargeLoaded(BlockKind kind, idx_t size);
 
   std::string temp_directory_;
+  FileSystem &fs_;
   std::atomic<idx_t> memory_limit_;
   EvictionPolicy policy_;
   bool spill_temporary_ = true;
+  FaultInjector *fault_injector_ = nullptr;
   TemporaryFileManager temp_files_;
 
   std::atomic<idx_t> memory_used_{0};
@@ -211,6 +240,7 @@ class BufferManager {
   std::atomic<idx_t> evicted_temporary_count_{0};
   std::atomic<idx_t> reused_buffers_{0};
   std::atomic<idx_t> oom_rejections_{0};
+  std::atomic<int64_t> pinned_buffers_{0};
 
   /// Cached global-registry key ids ("bm.*"), resolved at construction.
   idx_t key_evict_persistent_;

@@ -5,30 +5,30 @@
 namespace ssagg {
 
 Result<std::unique_ptr<FileBlockManager>> FileBlockManager::Create(
-    const std::string &path) {
+    const std::string &path, FileSystem &fs) {
   FileOpenFlags flags;
   flags.read = true;
   flags.write = true;
   flags.create = true;
   flags.truncate = true;
-  SSAGG_ASSIGN_OR_RETURN(auto file, FileSystem::Open(path, flags));
+  SSAGG_ASSIGN_OR_RETURN(auto file, fs.Open(path, flags));
   return std::unique_ptr<FileBlockManager>(
-      new FileBlockManager(std::move(file), path, 0));
+      new FileBlockManager(fs, std::move(file), path, 0));
 }
 
 Result<std::unique_ptr<FileBlockManager>> FileBlockManager::Open(
-    const std::string &path) {
+    const std::string &path, FileSystem &fs) {
   FileOpenFlags flags;
   flags.read = true;
   flags.write = true;
-  SSAGG_ASSIGN_OR_RETURN(auto file, FileSystem::Open(path, flags));
+  SSAGG_ASSIGN_OR_RETURN(auto file, fs.Open(path, flags));
   SSAGG_ASSIGN_OR_RETURN(idx_t size, file->FileSize());
   if (size % kPageSize != 0) {
     return Status::IOError("database file size is not a multiple of the page "
                            "size: " + path);
   }
   return std::unique_ptr<FileBlockManager>(
-      new FileBlockManager(std::move(file), path, size / kPageSize));
+      new FileBlockManager(fs, std::move(file), path, size / kPageSize));
 }
 
 block_id_t FileBlockManager::AllocateBlock() {

@@ -21,9 +21,9 @@ namespace ssagg {
 class FileBlockManager {
  public:
   static Result<std::unique_ptr<FileBlockManager>> Create(
-      const std::string &path);
+      const std::string &path, FileSystem &fs = FileSystem::Default());
   static Result<std::unique_ptr<FileBlockManager>> Open(
-      const std::string &path);
+      const std::string &path, FileSystem &fs = FileSystem::Default());
 
   /// Reserves a fresh block id.
   block_id_t AllocateBlock();
@@ -40,12 +40,14 @@ class FileBlockManager {
   const std::string &path() const { return path_; }
 
  private:
-  FileBlockManager(std::unique_ptr<FileHandle> file, std::string path,
-                   block_id_t next_block_id)
-      : file_(std::move(file)),
+  FileBlockManager(FileSystem &fs, std::unique_ptr<FileHandle> file,
+                   std::string path, block_id_t next_block_id)
+      : fs_(fs),
+        file_(std::move(file)),
         path_(std::move(path)),
         next_block_id_(next_block_id) {}
 
+  FileSystem &fs_;
   std::unique_ptr<FileHandle> file_;
   std::string path_;
   std::atomic<block_id_t> next_block_id_;

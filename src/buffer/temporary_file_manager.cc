@@ -21,8 +21,11 @@ uint64_t TimedNs(const Fn &fn) {
 }
 }  // namespace
 
-TemporaryFileManager::TemporaryFileManager(std::string directory)
-    : directory_(std::move(directory)) {
+TemporaryFileManager::TemporaryFileManager(std::string directory,
+                                           FileSystem &fs)
+    : directory_(std::move(directory)),
+      fs_(fs),
+      token_(ProcessUniqueToken()) {
   MetricsRegistry &registry = MetricsRegistry::Global();
   key_spill_writes_ = registry.KeyId("io.spill_writes");
   key_spill_reads_ = registry.KeyId("io.spill_reads");
@@ -37,10 +40,10 @@ TemporaryFileManager::~TemporaryFileManager() {
   if (fixed_file_) {
     std::string path = fixed_file_->path();
     fixed_file_.reset();
-    (void)FileSystem::RemoveFile(path);
+    (void)fs_.RemoveFile(path);
   }
   for (auto &entry : variable_sizes_) {
-    (void)FileSystem::RemoveFile(VariableFilePath(entry.first));
+    (void)fs_.RemoveFile(VariableFilePath(entry.first));
   }
 }
 
@@ -48,16 +51,18 @@ Status TemporaryFileManager::EnsureFixedFile() {
   if (fixed_file_) {
     return Status::OK();
   }
-  SSAGG_RETURN_NOT_OK(FileSystem::CreateDirectories(directory_));
+  SSAGG_RETURN_NOT_OK(fs_.CreateDirectories(directory_));
   FileOpenFlags flags;
   flags.read = true;
   flags.write = true;
   flags.create = true;
   flags.truncate = true;
-  SSAGG_ASSIGN_OR_RETURN(fixed_file_,
-                         FileSystem::Open(directory_ + "/ssagg_temp.tmp",
-                                          flags));
+  SSAGG_ASSIGN_OR_RETURN(fixed_file_, fs_.Open(FixedFilePath(), flags));
   return Status::OK();
+}
+
+std::string TemporaryFileManager::FixedFilePath() const {
+  return directory_ + "/ssagg_temp_" + token_ + ".tmp";
 }
 
 Result<idx_t> TemporaryFileManager::WriteFixedBlock(const FileBuffer &buffer) {
@@ -82,7 +87,12 @@ Result<idx_t> TemporaryFileManager::WriteFixedBlock(const FileBuffer &buffer) {
   uint64_t ns = TimedNs([&]() {
     status = fixed_file_->Write(buffer.data(), kPageSize, slot * kPageSize);
   });
-  SSAGG_RETURN_NOT_OK(status);
+  if (!status.ok()) {
+    // Roll the slot back: a failed spill must not leak temp-file space (the
+    // caller keeps the in-memory page and propagates the error).
+    FreeFixedSlot(slot);
+    return status;
+  }
   RecordWrite(kPageSize, ns);
   return slot;
 }
@@ -130,7 +140,8 @@ void TemporaryFileManager::FreeFixedSlot(idx_t slot) {
 }
 
 std::string TemporaryFileManager::VariableFilePath(block_id_t id) const {
-  return directory_ + "/ssagg_temp_var_" + std::to_string(id) + ".tmp";
+  return directory_ + "/ssagg_temp_var_" + token_ + "_" + std::to_string(id) +
+         ".tmp";
 }
 
 Status TemporaryFileManager::WriteVariableBlock(block_id_t id,
@@ -138,7 +149,7 @@ Status TemporaryFileManager::WriteVariableBlock(block_id_t id,
   TraceSpan span("spill.write", "io", buffer.size());
   {
     std::lock_guard<std::mutex> guard(lock_);
-    SSAGG_RETURN_NOT_OK(FileSystem::CreateDirectories(directory_));
+    SSAGG_RETURN_NOT_OK(fs_.CreateDirectories(directory_));
     variable_sizes_[id] = buffer.size();
     write_count_++;
     variable_files_created_++;
@@ -151,11 +162,16 @@ Status TemporaryFileManager::WriteVariableBlock(block_id_t id,
   flags.truncate = true;
   Status status;
   uint64_t ns = TimedNs([&]() {
-    auto file = FileSystem::Open(VariableFilePath(id), flags);
+    auto file = fs_.Open(VariableFilePath(id), flags);
     status = file.ok() ? file.value()->Write(buffer.data(), buffer.size(), 0)
                        : file.status();
   });
-  SSAGG_RETURN_NOT_OK(status);
+  if (!status.ok()) {
+    // Roll back the registration and drop any partially written file so the
+    // failed spill leaves no temp-storage footprint.
+    FreeVariableBlock(id);
+    return status;
+  }
   RecordWrite(buffer.size(), ns);
   return Status::OK();
 }
@@ -166,7 +182,7 @@ Status TemporaryFileManager::ReadVariableBlock(block_id_t id,
   FileOpenFlags flags;
   Status status;
   uint64_t ns = TimedNs([&]() {
-    auto file = FileSystem::Open(VariableFilePath(id), flags);
+    auto file = fs_.Open(VariableFilePath(id), flags);
     status = file.ok() ? file.value()->Read(buffer.data(), buffer.size(), 0)
                        : file.status();
   });
@@ -187,7 +203,17 @@ void TemporaryFileManager::FreeVariableBlock(block_id_t id) {
     return;
   }
   variable_sizes_.erase(it);
-  (void)FileSystem::RemoveFile(VariableFilePath(id));
+  (void)fs_.RemoveFile(VariableFilePath(id));
+}
+
+idx_t TemporaryFileManager::UsedSlots() const {
+  std::lock_guard<std::mutex> guard(lock_);
+  return used_slots_;
+}
+
+idx_t TemporaryFileManager::VariableBlockCount() const {
+  std::lock_guard<std::mutex> guard(lock_);
+  return variable_sizes_.size();
 }
 
 idx_t TemporaryFileManager::CurrentSize() const {

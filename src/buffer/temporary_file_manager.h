@@ -24,7 +24,8 @@ namespace ssagg {
 /// The temporary files are completely separate from the database file.
 class TemporaryFileManager {
  public:
-  explicit TemporaryFileManager(std::string directory);
+  explicit TemporaryFileManager(std::string directory,
+                                FileSystem &fs = FileSystem::Default());
   ~TemporaryFileManager();
 
   TemporaryFileManager(const TemporaryFileManager &) = delete;
@@ -50,6 +51,11 @@ class TemporaryFileManager {
   idx_t CurrentSize() const;
   /// Highest CurrentSize observed.
   idx_t PeakSize() const;
+  /// Fixed-file slots currently holding a spilled page. Zero when no query
+  /// state is alive — the no-leak invariant the fault suite asserts.
+  idx_t UsedSlots() const;
+  /// Live variable-size temporary files (same invariant).
+  idx_t VariableBlockCount() const;
   idx_t WriteCount() const { return write_count_; }
   idx_t ReadCount() const { return read_count_; }
 
@@ -74,9 +80,16 @@ class TemporaryFileManager {
   /// Variable-size temporary files ever created.
   idx_t VariableFilesCreated() const { return variable_files_created_; }
 
+  /// Paths of the temporary files. Both embed a per-process, per-instance
+  /// token: managers may share a directory (several BufferManagers in one
+  /// process, or concurrent test processes on the same temp dir), and the
+  /// fixed file is opened with truncate — a shared name would let one
+  /// manager destroy another's live spill data.
+  std::string FixedFilePath() const;
+  std::string VariableFilePath(block_id_t id) const;
+
  private:
   Status EnsureFixedFile();
-  std::string VariableFilePath(block_id_t id) const;
   void UpdatePeak();
   /// Folds one spill write/read into the local accounting and the global
   /// metrics registry.
@@ -84,6 +97,8 @@ class TemporaryFileManager {
   void RecordRead(idx_t bytes, uint64_t ns);
 
   std::string directory_;
+  FileSystem &fs_;
+  std::string token_;  // unique per process + instance, embedded in paths
 
   mutable std::mutex lock_;
   std::unique_ptr<FileHandle> fixed_file_;

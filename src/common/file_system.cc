@@ -5,84 +5,107 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 
 namespace ssagg {
 
+std::string ProcessUniqueToken() {
+  static std::atomic<uint64_t> next_token{0};
+  return std::to_string(static_cast<uint64_t>(::getpid())) + "_" +
+         std::to_string(next_token.fetch_add(1, std::memory_order_relaxed));
+}
+
 namespace {
+
 std::string ErrnoMessage(const std::string &context) {
   return context + ": " + std::strerror(errno);
 }
+
+/// POSIX file handle; closes the descriptor on destruction.
+class LocalFileHandle : public FileHandle {
+ public:
+  LocalFileHandle(int fd, std::string path)
+      : FileHandle(std::move(path)), fd_(fd) {}
+  ~LocalFileHandle() override {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+
+  Status Read(void *buffer, idx_t bytes, idx_t offset) override {
+    auto *dest = static_cast<uint8_t *>(buffer);
+    idx_t total = 0;
+    while (total < bytes) {
+      ssize_t n = ::pread(fd_, dest + total, bytes - total,
+                          static_cast<off_t>(offset + total));
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return Status::IOError(ErrnoMessage("pread " + path_));
+      }
+      if (n == 0) {
+        return Status::IOError("unexpected EOF reading " + path_);
+      }
+      total += static_cast<idx_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Write(const void *buffer, idx_t bytes, idx_t offset) override {
+    const auto *src = static_cast<const uint8_t *>(buffer);
+    idx_t total = 0;
+    while (total < bytes) {
+      ssize_t n = ::pwrite(fd_, src + total, bytes - total,
+                           static_cast<off_t>(offset + total));
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return Status::IOError(ErrnoMessage("pwrite " + path_));
+      }
+      total += static_cast<idx_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fdatasync(fd_) != 0) {
+      return Status::IOError(ErrnoMessage("fdatasync " + path_));
+    }
+    return Status::OK();
+  }
+
+  Status Truncate(idx_t size) override {
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return Status::IOError(ErrnoMessage("ftruncate " + path_));
+    }
+    return Status::OK();
+  }
+
+  Result<idx_t> FileSize() override {
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) {
+      return Status::IOError(ErrnoMessage("fstat " + path_));
+    }
+    return static_cast<idx_t>(st.st_size);
+  }
+
+ private:
+  int fd_;
+};
+
 }  // namespace
 
-FileHandle::~FileHandle() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-  }
+FileSystem &FileSystem::Default() {
+  static LocalFileSystem local;
+  return local;
 }
 
-Status FileHandle::Read(void *buffer, idx_t bytes, idx_t offset) {
-  auto *dest = static_cast<uint8_t *>(buffer);
-  idx_t total = 0;
-  while (total < bytes) {
-    ssize_t n = ::pread(fd_, dest + total, bytes - total,
-                        static_cast<off_t>(offset + total));
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      return Status::IOError(ErrnoMessage("pread " + path_));
-    }
-    if (n == 0) {
-      return Status::IOError("unexpected EOF reading " + path_);
-    }
-    total += static_cast<idx_t>(n);
-  }
-  return Status::OK();
-}
-
-Status FileHandle::Write(const void *buffer, idx_t bytes, idx_t offset) {
-  const auto *src = static_cast<const uint8_t *>(buffer);
-  idx_t total = 0;
-  while (total < bytes) {
-    ssize_t n = ::pwrite(fd_, src + total, bytes - total,
-                         static_cast<off_t>(offset + total));
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      return Status::IOError(ErrnoMessage("pwrite " + path_));
-    }
-    total += static_cast<idx_t>(n);
-  }
-  return Status::OK();
-}
-
-Status FileHandle::Sync() {
-  if (::fdatasync(fd_) != 0) {
-    return Status::IOError(ErrnoMessage("fdatasync " + path_));
-  }
-  return Status::OK();
-}
-
-Status FileHandle::Truncate(idx_t size) {
-  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
-    return Status::IOError(ErrnoMessage("ftruncate " + path_));
-  }
-  return Status::OK();
-}
-
-Result<idx_t> FileHandle::FileSize() {
-  struct stat st;
-  if (::fstat(fd_, &st) != 0) {
-    return Status::IOError(ErrnoMessage("fstat " + path_));
-  }
-  return static_cast<idx_t>(st.st_size);
-}
-
-Result<std::unique_ptr<FileHandle>> FileSystem::Open(const std::string &path,
-                                                     FileOpenFlags flags) {
+Result<std::unique_ptr<FileHandle>> LocalFileSystem::Open(
+    const std::string &path, FileOpenFlags flags) {
   int oflags = 0;
   if (flags.read && flags.write) {
     oflags = O_RDWR;
@@ -101,22 +124,22 @@ Result<std::unique_ptr<FileHandle>> FileSystem::Open(const std::string &path,
   if (fd < 0) {
     return Status::IOError(ErrnoMessage("open " + path));
   }
-  return std::make_unique<FileHandle>(fd, path);
+  return std::unique_ptr<FileHandle>(new LocalFileHandle(fd, path));
 }
 
-Status FileSystem::RemoveFile(const std::string &path) {
+Status LocalFileSystem::RemoveFile(const std::string &path) {
   if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
     return Status::IOError(ErrnoMessage("unlink " + path));
   }
   return Status::OK();
 }
 
-bool FileSystem::FileExists(const std::string &path) {
+bool LocalFileSystem::FileExists(const std::string &path) {
   struct stat st;
   return ::stat(path.c_str(), &st) == 0;
 }
 
-Status FileSystem::CreateDirectories(const std::string &path) {
+Status LocalFileSystem::CreateDirectories(const std::string &path) {
   std::string partial;
   for (idx_t i = 0; i <= path.size(); i++) {
     if (i == path.size() || path[i] == '/') {
@@ -135,7 +158,7 @@ Status FileSystem::CreateDirectories(const std::string &path) {
   return Status::OK();
 }
 
-Result<idx_t> FileSystem::GetFileSize(const std::string &path) {
+Result<idx_t> LocalFileSystem::GetFileSize(const std::string &path) {
   struct stat st;
   if (::stat(path.c_str(), &st) != 0) {
     return Status::IOError(ErrnoMessage("stat " + path));

@@ -24,7 +24,7 @@ enum class StatusCode : uint8_t {
 
 /// Arrow/RocksDB-style status object. Functions that can fail return Status
 /// (or Result<T>); exceptions are not used across library boundaries.
-class Status {
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
 
@@ -71,7 +71,7 @@ class Status {
 
 /// Result<T>: either a value or an error Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}     // NOLINT(runtime/explicit)
   Result(Status status) : status_(std::move(status)) {  // NOLINT

@@ -10,6 +10,9 @@ namespace ssagg {
 namespace {
 
 void AppendBytes(std::vector<data_t> &out, const void *data, idx_t bytes) {
+  if (bytes == 0) {
+    return;  // `data` may be null (e.g. an empty heap) — don't touch it
+  }
   auto *src = static_cast<const data_t *>(data);
   out.insert(out.end(), src, src + bytes);
 }
@@ -170,7 +173,10 @@ Status CompressSegment(const Vector &input, idx_t count,
     min_v = std::min(min_v, v);
     max_v = std::max(max_v, v);
   }
-  idx_t bits = BitsNeeded(static_cast<uint64_t>(max_v - min_v));
+  // Unsigned subtraction: the frame may span the whole int64 range, where
+  // max_v - min_v overflows as a signed operation.
+  idx_t bits = BitsNeeded(static_cast<uint64_t>(max_v) -
+                          static_cast<uint64_t>(min_v));
   idx_t bitpack_bytes = 9 + (count * bits + 7) / 8;
   auto runs = BuildRuns(values);
   idx_t rle_bytes = 4 + runs.size() * (width + 4);
@@ -195,7 +201,8 @@ Status CompressSegment(const Vector &input, idx_t count,
     out.push_back(static_cast<data_t>(bits));
     std::vector<uint64_t> deltas(count);
     for (idx_t i = 0; i < count; i++) {
-      deltas[i] = static_cast<uint64_t>(values[i] - min_v);
+      deltas[i] =
+          static_cast<uint64_t>(values[i]) - static_cast<uint64_t>(min_v);
     }
     PackBits(deltas, bits, out);
     return Status::OK();
@@ -231,7 +238,9 @@ Status DecompressSegment(const_data_ptr_t data, idx_t size,
       if (cursor + count * width > end) {
         return Status::IOError("plain payload out of bounds");
       }
-      std::memcpy(out.values.data(), cursor, count * width);
+      if (count != 0) {  // a zero-count segment has a null values buffer
+        std::memcpy(out.values.data(), cursor, count * width);
+      }
       return Status::OK();
     }
     case Codec::kForBitpack: {
@@ -241,7 +250,8 @@ Status DecompressSegment(const_data_ptr_t data, idx_t size,
         return Status::IOError("bitpack payload out of bounds");
       }
       for (idx_t i = 0; i < count; i++) {
-        int64_t v = min_v + static_cast<int64_t>(UnpackBits(cursor, i, bits));
+        int64_t v = static_cast<int64_t>(static_cast<uint64_t>(min_v) +
+                                         UnpackBits(cursor, i, bits));
         if (width == 4) {
           auto v32 = static_cast<int32_t>(v);
           std::memcpy(out.values.data() + i * 4, &v32, 4);
@@ -319,6 +329,9 @@ void CopyDecodedRows(const DecodedSegment &segment, idx_t offset, idx_t count,
       }
       out.SetString(i, strings[offset + i].View());
     }
+    return;
+  }
+  if (count == 0) {
     return;
   }
   std::memcpy(out.data(), segment.values.data() + offset * width,

@@ -95,8 +95,19 @@ Result<std::unique_ptr<ExternalSortAggregate>> ExternalSortAggregate::Create(
   }
   op->total_state_width_ = state_width;
   op->run_layout_.Initialize(run_types);
-  SSAGG_RETURN_NOT_OK(FileSystem::CreateDirectories(config.temp_directory));
+  SSAGG_RETURN_NOT_OK(
+      buffer_manager.fs().CreateDirectories(config.temp_directory));
   return op;
+}
+
+ExternalSortAggregate::~ExternalSortAggregate() { RemoveRunFiles(); }
+
+void ExternalSortAggregate::RemoveRunFiles() {
+  std::lock_guard<std::mutex> guard(lock_);
+  for (const auto &run : runs_) {
+    (void)buffer_manager_.fs().RemoveFile(run.path);
+  }
+  runs_.clear();
 }
 
 std::vector<LogicalTypeId> ExternalSortAggregate::OutputTypes() const {
@@ -172,13 +183,25 @@ Status ExternalSortAggregate::SortAndSpill(LocalState &local) {
             });
   idx_t run_id = next_run_id_.fetch_add(1);
   std::string path = config_.temp_directory + "/ssagg_sort_run_" +
-                     std::to_string(run_id) + ".tmp";
-  RunWriter writer(run_layout_, path);
-  SSAGG_RETURN_NOT_OK(writer.Open());
-  for (data_ptr_t row : local.rows) {
-    SSAGG_RETURN_NOT_OK(writer.WriteRow(row));
+                     run_token_ + "_" + std::to_string(run_id) + ".tmp";
+  RunWriter writer(run_layout_, path, buffer_manager_.fs());
+  Status write_status = writer.Open();
+  if (write_status.ok()) {
+    for (data_ptr_t row : local.rows) {
+      write_status = writer.WriteRow(row);
+      if (!write_status.ok()) {
+        break;
+      }
+    }
   }
-  SSAGG_RETURN_NOT_OK(writer.Finish());
+  if (write_status.ok()) {
+    write_status = writer.Finish();
+  }
+  if (!write_status.ok()) {
+    // Never leak a partial run file: it was not registered in runs_ yet.
+    (void)buffer_manager_.fs().RemoveFile(path);
+    return write_status;
+  }
   run_bytes_.fetch_add(writer.BytesWritten());
   {
     MetricsRegistry &registry = MetricsRegistry::Global();
@@ -237,8 +260,8 @@ Status ExternalSortAggregate::EmitResults(DataSink &output,
   };
   Status status;  // first error; cleanup runs on all paths below
   for (idx_t i = 0; i < runs_.size() && status.ok(); i++) {
-    sources[i].reader =
-        std::make_unique<RunReader>(run_layout_, runs_[i].path, runs_[i].rows);
+    sources[i].reader = std::make_unique<RunReader>(
+        run_layout_, runs_[i].path, runs_[i].rows, buffer_manager_.fs());
     sources[i].chunk.Initialize(run_layout_.Types());
     status = sources[i].reader->Open();
     if (status.ok()) {
@@ -249,6 +272,7 @@ Status ExternalSortAggregate::EmitResults(DataSink &output,
     }
   }
   if (!status.ok()) {
+    RemoveRunFiles();
     cleanup();
     return status;
   }
@@ -267,7 +291,13 @@ Status ExternalSortAggregate::EmitResults(DataSink &output,
     }
   }
 
-  SSAGG_ASSIGN_OR_RETURN(auto out_local, output.InitLocal());
+  auto out_local_result = output.InitLocal();
+  if (!out_local_result.ok()) {
+    RemoveRunFiles();
+    cleanup();
+    return out_local_result.status();
+  }
+  auto out_local = std::move(out_local_result).MoveValue();
   DataChunk out(OutputTypes());
   std::vector<data_t> state_buffer(std::max<idx_t>(total_state_width_, 1));
   std::vector<data_t> current_group(run_layout_.RowWidth());
@@ -418,6 +448,10 @@ Status ExternalSortAggregate::EmitResults(DataSink &output,
     if (src.reader) {
       (void)src.reader->Remove();
     }
+  }
+  {
+    std::lock_guard<std::mutex> guard(lock_);
+    runs_.clear();
   }
   cleanup();
   merged_rows_ = merged_rows;

@@ -41,6 +41,10 @@ class ExternalSortAggregate : public DataSink {
       std::vector<idx_t> group_columns,
       std::vector<AggregateRequest> aggregates, Config config);
 
+  /// Removes any run files still on disk (the merge phase removes the ones
+  /// it consumed; this covers pipelines that fail before or during it).
+  ~ExternalSortAggregate() override;
+
   std::vector<LogicalTypeId> OutputTypes() const;
 
   // DataSink (run generation)
@@ -77,6 +81,9 @@ class ExternalSortAggregate : public DataSink {
   /// Sorts the local arena by group columns and writes it out as one run.
   Status SortAndSpill(LocalState &local);
 
+  /// Deletes every registered run file and forgets it.
+  void RemoveRunFiles();
+
   BufferManager &buffer_manager_;
   std::vector<LogicalTypeId> input_types_;
   Config config_;
@@ -94,6 +101,9 @@ class ExternalSortAggregate : public DataSink {
   std::mutex lock_;
   std::vector<RunInfo> runs_;
   std::atomic<idx_t> next_run_id_{0};
+  /// Embedded in run-file names: temp directories are shared across
+  /// operator instances and concurrent processes.
+  const std::string run_token_ = ProcessUniqueToken();
   std::atomic<idx_t> run_bytes_{0};
   idx_t merge_fan_in_ = 0;
   idx_t merged_rows_ = 0;

@@ -37,7 +37,7 @@ Status RunWriter::Open() {
   flags.write = true;
   flags.create = true;
   flags.truncate = true;
-  SSAGG_ASSIGN_OR_RETURN(file_, FileSystem::Open(path_, flags));
+  SSAGG_ASSIGN_OR_RETURN(file_, fs_.Open(path_, flags));
   buffer_.reserve(kIOBufferSize);
   return Status::OK();
 }
@@ -85,7 +85,7 @@ Status RunWriter::Finish() { return FlushBuffer(); }
 
 Status RunReader::Open() {
   FileOpenFlags flags;
-  SSAGG_ASSIGN_OR_RETURN(file_, FileSystem::Open(path_, flags));
+  SSAGG_ASSIGN_OR_RETURN(file_, fs_.Open(path_, flags));
   SSAGG_ASSIGN_OR_RETURN(file_size_, file_->FileSize());
   buffer_.resize(kIOBufferSize);
   buffer_pos_ = 0;
@@ -192,7 +192,7 @@ void RunReader::GatherBatch(const std::vector<data_ptr_t> &rows,
 
 Status RunReader::Remove() {
   file_.reset();
-  return FileSystem::RemoveFile(path_);
+  return fs_.RemoveFile(path_);
 }
 
 }  // namespace ssagg

@@ -23,8 +23,9 @@ namespace ssagg {
 /// the fixed part).
 class RunWriter {
  public:
-  RunWriter(const TupleDataLayout &layout, std::string path)
-      : layout_(layout), path_(std::move(path)) {}
+  RunWriter(const TupleDataLayout &layout, std::string path,
+            FileSystem &fs = FileSystem::Default())
+      : layout_(layout), path_(std::move(path)), fs_(fs) {}
 
   Status Open();
   Status WriteRow(const_data_ptr_t row);
@@ -40,6 +41,7 @@ class RunWriter {
 
   const TupleDataLayout &layout_;
   std::string path_;
+  FileSystem &fs_;
   std::unique_ptr<FileHandle> file_;
   std::vector<data_t> buffer_;
   idx_t bytes_ = 0;
@@ -51,8 +53,12 @@ class RunWriter {
 /// pointers) stay valid until the next ReadBatch call.
 class RunReader {
  public:
-  RunReader(const TupleDataLayout &layout, std::string path, idx_t row_count)
-      : layout_(layout), path_(std::move(path)), remaining_(row_count) {}
+  RunReader(const TupleDataLayout &layout, std::string path, idx_t row_count,
+            FileSystem &fs = FileSystem::Default())
+      : layout_(layout),
+        path_(std::move(path)),
+        fs_(fs),
+        remaining_(row_count) {}
 
   Status Open();
 
@@ -72,6 +78,7 @@ class RunReader {
 
   const TupleDataLayout &layout_;
   std::string path_;
+  FileSystem &fs_;
   std::unique_ptr<FileHandle> file_;
   idx_t remaining_;
   idx_t file_offset_ = 0;

@@ -1,0 +1,69 @@
+#include "testing/fault_fs.h"
+
+#include <utility>
+
+namespace ssagg {
+
+namespace {
+
+/// Wraps a real handle; consults the injector before every operation.
+class FaultInjectingFileHandle : public FileHandle {
+ public:
+  FaultInjectingFileHandle(std::unique_ptr<FileHandle> inner,
+                           FaultInjector &injector)
+      : FileHandle(inner->path()),
+        inner_(std::move(inner)),
+        injector_(injector) {}
+
+  Status Read(void *buffer, idx_t bytes, idx_t offset) override {
+    SSAGG_RETURN_NOT_OK(injector_.Hit(FaultSite::kRead));
+    return inner_->Read(buffer, bytes, offset);
+  }
+
+  Status Write(const void *buffer, idx_t bytes, idx_t offset) override {
+    Status fault = injector_.Hit(FaultSite::kWrite);
+    if (!fault.ok()) {
+      if (injector_.config().short_write && bytes > 1) {
+        // Model ENOSPC mid-write: half the payload lands before the error.
+        // Callers must treat the write as failed and never trust the
+        // partial contents.
+        (void)inner_->Write(buffer, bytes / 2, offset);
+      }
+      return fault;
+    }
+    return inner_->Write(buffer, bytes, offset);
+  }
+
+  Status Sync() override {
+    SSAGG_RETURN_NOT_OK(injector_.Hit(FaultSite::kSync));
+    return inner_->Sync();
+  }
+
+  Status Truncate(idx_t size) override {
+    SSAGG_RETURN_NOT_OK(injector_.Hit(FaultSite::kTruncate));
+    return inner_->Truncate(size);
+  }
+
+  Result<idx_t> FileSize() override { return inner_->FileSize(); }
+
+ private:
+  std::unique_ptr<FileHandle> inner_;
+  FaultInjector &injector_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<FileHandle>> FaultInjectingFileSystem::Open(
+    const std::string &path, FileOpenFlags flags) {
+  SSAGG_RETURN_NOT_OK(injector_.Hit(FaultSite::kOpen));
+  SSAGG_ASSIGN_OR_RETURN(auto inner, inner_.Open(path, flags));
+  return std::unique_ptr<FileHandle>(
+      new FaultInjectingFileHandle(std::move(inner), injector_));
+}
+
+Status FaultInjectingFileSystem::RemoveFile(const std::string &path) {
+  SSAGG_RETURN_NOT_OK(injector_.Hit(FaultSite::kRemove));
+  return inner_.RemoveFile(path);
+}
+
+}  // namespace ssagg

@@ -1,0 +1,49 @@
+#ifndef SSAGG_TESTING_FAULT_FS_H_
+#define SSAGG_TESTING_FAULT_FS_H_
+
+#include <memory>
+#include <string>
+
+#include "common/file_system.h"
+#include "testing/fault_injector.h"
+
+namespace ssagg {
+
+/// FileSystem decorator that injects deterministic faults (failed opens,
+/// read errors, ENOSPC-style full and short writes, sync/truncate failures)
+/// according to a shared FaultInjector. Handles returned by Open are wrapped
+/// so every subsequent I/O on them is also subject to injection.
+///
+/// Used by the fault-injection and spill-stress suites to prove that every
+/// failure on the spill path surfaces as a clean Status with no leaked pins,
+/// temp-file slots, or memory charges.
+class FaultInjectingFileSystem : public FileSystem {
+ public:
+  FaultInjectingFileSystem(FileSystem &inner, FaultInjector &injector)
+      : inner_(inner), injector_(injector) {}
+
+  Result<std::unique_ptr<FileHandle>> Open(const std::string &path,
+                                           FileOpenFlags flags) override;
+  Status RemoveFile(const std::string &path) override;
+  bool FileExists(const std::string &path) override {
+    return inner_.FileExists(path);
+  }
+  /// Directory creation is not a faultable site: it happens once per
+  /// manager, outside the per-operation I/O sequence the sweeps index.
+  Status CreateDirectories(const std::string &path) override {
+    return inner_.CreateDirectories(path);
+  }
+  Result<idx_t> GetFileSize(const std::string &path) override {
+    return inner_.GetFileSize(path);
+  }
+
+  FaultInjector &injector() { return injector_; }
+
+ private:
+  FileSystem &inner_;
+  FaultInjector &injector_;
+};
+
+}  // namespace ssagg
+
+#endif  // SSAGG_TESTING_FAULT_FS_H_

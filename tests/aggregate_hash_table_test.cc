@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstring>
 #include <map>
 #include <optional>
@@ -10,6 +12,7 @@
 
 #include "common/file_system.h"
 #include "common/random.h"
+#include "testing/fault_injector.h"
 
 namespace ssagg {
 namespace {
@@ -17,8 +20,8 @@ namespace {
 class AggregateHashTableTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    temp_dir_ = ::testing::TempDir() + "ssagg_ht_test";
-    (void)FileSystem::CreateDirectories(temp_dir_);
+    temp_dir_ = ::testing::TempDir() + "ssagg_ht_test_" + std::to_string(::getpid());
+    (void)FileSystem::Default().CreateDirectories(temp_dir_);
   }
   std::string temp_dir_;
 };
@@ -779,6 +782,102 @@ TEST_F(AggregateHashTableTest, ScalarVsVectorizedCombineEquivalence) {
     slot.second += sum_count.second;
   }
   EXPECT_EQ(scalar_results, direct);
+}
+
+// Both probe paths under denied allocations: every k-th memory denial must
+// surface as a clean kOutOfMemory with nothing pinned or charged, and a
+// fault-free rerun on either path must still match the unpressured
+// reference exactly.
+TEST_F(AggregateHashTableTest, ScalarVsVectorizedUnderAllocationPressure) {
+  constexpr int kChunks = 6;
+  constexpr idx_t kKeyRange = 300;
+  // One deterministic input stream, reused for every run.
+  std::vector<std::vector<int64_t>> all_keys(kChunks);
+  std::vector<std::vector<double>> all_vals(kChunks);
+  std::map<GroupKey, std::pair<double, int64_t>> reference;
+  RandomEngine rng(0xA110C);
+  for (int c = 0; c < kChunks; c++) {
+    all_keys[c].resize(kVectorSize);
+    all_vals[c].resize(kVectorSize);
+    for (idx_t i = 0; i < kVectorSize; i++) {
+      all_keys[c][i] = static_cast<int64_t>(rng.NextRange(kKeyRange));
+      all_vals[c][i] = static_cast<double>(rng.NextRange(1000));
+      auto &slot = reference[GroupKey{all_keys[c][i]}];
+      slot.first += all_vals[c][i];
+      slot.second++;
+    }
+  }
+
+  // Runs the whole aggregation on one probe path; returns the first error
+  // or fills `out` on success. Checks the buffer pool unwound either way.
+  auto run = [&](bool vectorized, FaultInjector *injector,
+                 std::map<GroupKey, std::pair<double, int64_t>> *out) {
+    Status status = Status::OK();
+    BufferManager bm(temp_dir_, 1024 * kPageSize);
+    if (injector != nullptr) {
+      bm.SetFaultInjector(injector);
+    }
+    {
+      auto config = SmallConfig();
+      config.capacity = 64;
+      config.resizable = true;
+      config.vectorized_probe = vectorized;
+      auto ht_res = GroupedAggregateHashTable::Create(
+          bm, InputTypes(), {0},
+          {{AggregateKind::kSum, 1},
+           {AggregateKind::kCountStar, kInvalidIndex}},
+          config);
+      if (!ht_res.ok()) {
+        status = ht_res.status();
+      } else {
+        auto ht = std::move(ht_res).MoveValue();
+        DataChunk input(InputTypes());
+        for (int c = 0; c < kChunks && status.ok(); c++) {
+          input.Reset();
+          FillInput(input, all_keys[c], all_vals[c]);
+          status = ht->AddChunk(input);
+        }
+        if (status.ok() && out != nullptr) {
+          *out = ScanSumCount(*ht);
+        }
+      }
+    }
+    EXPECT_EQ(bm.PinnedBufferCount(), 0u);
+    EXPECT_EQ(bm.memory_used(), 0u);
+    return status;
+  };
+
+  for (bool vectorized : {false, true}) {
+    SCOPED_TRACE(vectorized ? "vectorized probe" : "scalar probe");
+    // Learning run: armed but never firing, to count memory operations.
+    FaultInjector injector(
+        {.fail_at = 0, .site_mask = kFaultMemorySites});
+    std::map<GroupKey, std::pair<double, int64_t>> healthy;
+    ASSERT_TRUE(run(vectorized, &injector, &healthy).ok());
+    EXPECT_EQ(healthy, reference);
+    // Recount without the result scan: the sweep runs below skip it, so
+    // fail_at must index the build-only operation sequence.
+    injector.Reset({.fail_at = 0, .site_mask = kFaultMemorySites});
+    ASSERT_TRUE(run(vectorized, &injector, nullptr).ok());
+    const idx_t total_ops = injector.ops_seen();
+    ASSERT_GT(total_ops, 0u);
+
+    // Deny the k-th memory operation across the range.
+    const idx_t stride = std::max<idx_t>(1, total_ops / 48);
+    for (idx_t k = 1; k <= total_ops; k += stride) {
+      injector.Reset({.fail_at = k, .site_mask = kFaultMemorySites});
+      auto status = run(vectorized, &injector, nullptr);
+      ASSERT_EQ(injector.faults_injected(), 1u) << "fail_at=" << k;
+      ASSERT_FALSE(status.ok()) << "fail_at=" << k;
+      EXPECT_EQ(status.code(), StatusCode::kOutOfMemory) << "fail_at=" << k;
+    }
+
+    // Disarmed rerun through the same injector: back to exact results.
+    injector.Reset({.fail_at = 0, .site_mask = kFaultMemorySites});
+    std::map<GroupKey, std::pair<double, int64_t>> recovered;
+    ASSERT_TRUE(run(vectorized, &injector, &recovered).ok());
+    EXPECT_EQ(recovered, reference);
+  }
 }
 
 }  // namespace

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <map>
 #include <tuple>
 
@@ -35,8 +37,8 @@ std::string ParamName(const ::testing::TestParamInfo<SweepParams> &info) {
 class AggregationPropertyTest : public ::testing::TestWithParam<SweepParams> {
  protected:
   void SetUp() override {
-    temp_dir_ = ::testing::TempDir() + "ssagg_prop";
-    (void)FileSystem::CreateDirectories(temp_dir_);
+    temp_dir_ = ::testing::TempDir() + "ssagg_prop_" + std::to_string(::getpid());
+    (void)FileSystem::Default().CreateDirectories(temp_dir_);
   }
   std::string temp_dir_;
 };

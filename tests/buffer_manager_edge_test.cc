@@ -3,11 +3,14 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstring>
 #include <thread>
 
 #include "buffer/buffer_manager.h"
 #include "common/file_system.h"
+#include "observe/metrics.h"
 
 namespace ssagg {
 namespace {
@@ -15,8 +18,8 @@ namespace {
 class BufferManagerEdgeTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    temp_dir_ = ::testing::TempDir() + "ssagg_bm_edge";
-    (void)FileSystem::CreateDirectories(temp_dir_);
+    temp_dir_ = ::testing::TempDir() + "ssagg_bm_edge_" + std::to_string(::getpid());
+    (void)FileSystem::Default().CreateDirectories(temp_dir_);
   }
   std::string temp_dir_;
 };
@@ -142,6 +145,171 @@ TEST_F(BufferManagerEdgeTest, ConcurrentNonPagedAndPagedPressure) {
   // All handles dropped: accounting returns to zero.
   EXPECT_EQ(bm.memory_used(), 0u);
   EXPECT_EQ(bm.Snapshot().temp_file_size, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Eviction-policy victim order
+//===----------------------------------------------------------------------===//
+
+/// Fixture for the policy tests: a pool of 4 pages holding two resident
+/// persistent pages and two resident temporary pages, all unpinned in a
+/// controlled order, so that forcing evictions one page at a time reveals
+/// exactly which kind each policy victimizes first.
+class EvictionPolicyOrderTest : public BufferManagerEdgeTest {
+ protected:
+  struct EvictionCounts {
+    idx_t persistent;
+    idx_t temporary;
+    idx_t temp_writes;
+  };
+
+  void PreparePool(BufferManager &bm, bool unpin_persistent_first) {
+    block_mgr_ = FileBlockManager::Create(temp_dir_ + "/policy.db",
+                                          bm.fs())
+                     .MoveValue();
+    FileBuffer buf(kPageSize);
+    std::vector<block_id_t> ids;
+    for (int i = 0; i < 2; i++) {
+      block_id_t id = block_mgr_->AllocateBlock();
+      std::memset(buf.data(), i + 1, kPageSize);
+      ASSERT_TRUE(block_mgr_->WriteBlock(id, buf).ok());
+      ids.push_back(id);
+    }
+    // Two pinned temporary pages...
+    temps_.resize(2);
+    std::vector<BufferHandle> temp_pins;
+    for (auto &block : temps_) {
+      temp_pins.push_back(bm.Allocate(kPageSize, &block).MoveValue());
+    }
+    auto unpin_persistents = [&]() {
+      for (auto id : ids) {
+        persistents_.push_back(bm.RegisterPersistentBlock(*block_mgr_, id));
+        auto pin = bm.Pin(persistents_.back());
+        ASSERT_TRUE(pin.ok()) << pin.status().ToString();
+        // The pin drops here: the page joins the eviction queue.
+      }
+    };
+    // ...and two resident persistent pages, with the unpin order chosen so
+    // the LRU would contradict the policy under test.
+    if (unpin_persistent_first) {
+      unpin_persistents();
+      temp_pins.clear();
+    } else {
+      temp_pins.clear();
+      unpin_persistents();
+    }
+    ASSERT_EQ(bm.memory_used(), 4 * kPageSize);
+    ASSERT_EQ(bm.PinnedBufferCount(), 0u);
+  }
+
+  /// Allocates one pinned filler page, forcing exactly one eviction.
+  void ForceOneEviction(BufferManager &bm) {
+    fillers_.emplace_back();
+    auto pin = bm.Allocate(kPageSize, &fillers_.back());
+    ASSERT_TRUE(pin.ok()) << pin.status().ToString();
+    filler_pins_.push_back(pin.MoveValue());
+  }
+
+  static EvictionCounts Counts(const BufferManager &bm) {
+    auto snap = bm.Snapshot();
+    return {snap.evicted_persistent_count, snap.evicted_temporary_count,
+            snap.temp_writes};
+  }
+
+  /// Drops every handle; must run before the test-local BufferManager is
+  /// destroyed, since the fixture members would otherwise outlive it.
+  void ReleasePool() {
+    filler_pins_.clear();
+    fillers_.clear();
+    persistents_.clear();
+    temps_.clear();
+  }
+
+  std::unique_ptr<FileBlockManager> block_mgr_;
+  std::vector<std::shared_ptr<BlockHandle>> temps_;
+  std::vector<std::shared_ptr<BlockHandle>> persistents_;
+  std::vector<std::shared_ptr<BlockHandle>> fillers_;
+  std::vector<BufferHandle> filler_pins_;
+};
+
+TEST_F(EvictionPolicyOrderTest, TemporaryFirstDrainsTemporariesBeforeAny) {
+  BufferManager bm(temp_dir_, 4 * kPageSize, EvictionPolicy::kTemporaryFirst);
+  // Persistents are the LRU victims; the policy must override that.
+  PreparePool(bm, /*unpin_persistent_first=*/true);
+
+  ForceOneEviction(bm);
+  ForceOneEviction(bm);
+  auto counts = Counts(bm);
+  EXPECT_EQ(counts.temporary, 2u) << "temporaries were not evicted first";
+  EXPECT_EQ(counts.persistent, 0u);
+  EXPECT_EQ(counts.temp_writes, 2u) << "evicted temporaries must be spilled";
+
+  ForceOneEviction(bm);
+  ForceOneEviction(bm);
+  counts = Counts(bm);
+  EXPECT_EQ(counts.temporary, 2u);
+  EXPECT_EQ(counts.persistent, 2u)
+      << "with temporaries drained, persistents follow";
+  ReleasePool();
+}
+
+TEST_F(EvictionPolicyOrderTest, PersistentFirstDrainsPersistentsBeforeAny) {
+  // Global "bm.*" metrics move in lockstep with the snapshot counters.
+  MetricsRegistry &registry = MetricsRegistry::Global();
+  uint64_t persistent_before = registry.Value("bm.evictions_persistent");
+  uint64_t spilled_before = registry.Value("bm.evictions_temporary_spilled");
+
+  BufferManager bm(temp_dir_, 4 * kPageSize, EvictionPolicy::kPersistentFirst);
+  // Temporaries are the LRU victims; the policy must override that.
+  PreparePool(bm, /*unpin_persistent_first=*/false);
+
+  ForceOneEviction(bm);
+  ForceOneEviction(bm);
+  auto counts = Counts(bm);
+  EXPECT_EQ(counts.persistent, 2u) << "persistents were not evicted first";
+  EXPECT_EQ(counts.temporary, 0u);
+  EXPECT_EQ(counts.temp_writes, 0u)
+      << "no temporary page may spill while persistents remain";
+  EXPECT_EQ(registry.Value("bm.evictions_persistent"), persistent_before + 2);
+  EXPECT_EQ(registry.Value("bm.evictions_temporary_spilled"), spilled_before);
+
+  ForceOneEviction(bm);
+  ForceOneEviction(bm);
+  counts = Counts(bm);
+  EXPECT_EQ(counts.persistent, 2u);
+  EXPECT_EQ(counts.temporary, 2u);
+  EXPECT_EQ(registry.Value("bm.evictions_temporary_spilled"),
+            spilled_before + 2);
+  ReleasePool();
+}
+
+TEST_F(EvictionPolicyOrderTest, MixedPolicyFollowsLruAcrossKinds) {
+  BufferManager bm(temp_dir_, 4 * kPageSize, EvictionPolicy::kMixed);
+  // LRU order: persistents unpinned before temporaries.
+  PreparePool(bm, /*unpin_persistent_first=*/true);
+
+  ForceOneEviction(bm);
+  auto counts = Counts(bm);
+  EXPECT_EQ(counts.persistent, 1u) << "mixed policy must follow LRU order";
+  EXPECT_EQ(counts.temporary, 0u);
+
+  ForceOneEviction(bm);
+  counts = Counts(bm);
+  EXPECT_EQ(counts.persistent, 2u);
+  EXPECT_EQ(counts.temporary, 0u);
+
+  ForceOneEviction(bm);
+  ForceOneEviction(bm);
+  counts = Counts(bm);
+  EXPECT_EQ(counts.temporary, 2u);
+
+  // Spilled temporaries reload intact after the churn.
+  filler_pins_.clear();
+  for (auto &block : temps_) {
+    auto pin = bm.Pin(block);
+    ASSERT_TRUE(pin.ok()) << pin.status().ToString();
+  }
+  ReleasePool();
 }
 
 }  // namespace

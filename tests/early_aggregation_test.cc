@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <map>
 
 #include "ssagg/ssagg.h"
@@ -13,8 +15,8 @@ namespace {
 class EarlyAggregationTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    temp_dir_ = ::testing::TempDir() + "ssagg_early";
-    (void)FileSystem::CreateDirectories(temp_dir_);
+    temp_dir_ = ::testing::TempDir() + "ssagg_early_" + std::to_string(::getpid());
+    (void)FileSystem::Default().CreateDirectories(temp_dir_);
   }
   std::string temp_dir_;
 };

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <string>
 #include <vector>
 
@@ -33,8 +35,8 @@ std::string ParamName(const ::testing::TestParamInfo<LayoutSweepParams> &info) {
 class LayoutPropertyTest : public ::testing::TestWithParam<LayoutSweepParams> {
  protected:
   void SetUp() override {
-    temp_dir_ = ::testing::TempDir() + "ssagg_layout_prop";
-    (void)FileSystem::CreateDirectories(temp_dir_);
+    temp_dir_ = ::testing::TempDir() + "ssagg_layout_prop_" + std::to_string(::getpid());
+    (void)FileSystem::Default().CreateDirectories(temp_dir_);
   }
   std::string temp_dir_;
 };

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <set>
 #include <string>
 
@@ -87,8 +89,8 @@ TEST(LineitemTest, GroupingQueriesThinAndWide) {
 }
 
 TEST(LineitemTest, EndToEndGrouping1HasFourGroups) {
-  std::string temp_dir = ::testing::TempDir() + "ssagg_li_test";
-  (void)FileSystem::CreateDirectories(temp_dir);
+  std::string temp_dir = ::testing::TempDir() + "ssagg_li_test_" + std::to_string(::getpid());
+  (void)FileSystem::Default().CreateDirectories(temp_dir);
   BufferManager bm(temp_dir, 1024 * kPageSize);
   TaskExecutor executor(2);
   LineitemGenerator gen(0.5);
@@ -104,8 +106,8 @@ TEST(LineitemTest, EndToEndGrouping1HasFourGroups) {
 }
 
 TEST(LineitemTest, EndToEndGrouping13AllUnique) {
-  std::string temp_dir = ::testing::TempDir() + "ssagg_li_test13";
-  (void)FileSystem::CreateDirectories(temp_dir);
+  std::string temp_dir = ::testing::TempDir() + "ssagg_li_test13_" + std::to_string(::getpid());
+  (void)FileSystem::Default().CreateDirectories(temp_dir);
   BufferManager bm(temp_dir, 1024 * kPageSize);
   TaskExecutor executor(2);
   LineitemGenerator gen(0.2);
@@ -125,8 +127,8 @@ TEST(LineitemTest, EndToEndGrouping13AllUnique) {
 }
 
 TEST(LineitemTest, WideVariantCarriesPayloadColumns) {
-  std::string temp_dir = ::testing::TempDir() + "ssagg_li_wide";
-  (void)FileSystem::CreateDirectories(temp_dir);
+  std::string temp_dir = ::testing::TempDir() + "ssagg_li_wide_" + std::to_string(::getpid());
+  (void)FileSystem::Default().CreateDirectories(temp_dir);
   BufferManager bm(temp_dir, 1024 * kPageSize);
   TaskExecutor executor(2);
   LineitemGenerator gen(0.1);

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <set>
 
 #include "common/file_system.h"
@@ -49,14 +51,14 @@ TEST(ValueTest, DateAndInt32BoxAsInt64) {
 //===----------------------------------------------------------------------===//
 
 TEST(FileSystemTest, WriteReadTruncate) {
-  std::string dir = ::testing::TempDir() + "ssagg_fs/nested/deeper";
-  ASSERT_TRUE(FileSystem::CreateDirectories(dir).ok());
+  std::string dir = ::testing::TempDir() + "ssagg_fs/nested/deeper_" + std::to_string(::getpid());
+  ASSERT_TRUE(FileSystem::Default().CreateDirectories(dir).ok());
   std::string path = dir + "/file.bin";
   FileOpenFlags flags;
   flags.write = true;
   flags.create = true;
   flags.truncate = true;
-  auto file = FileSystem::Open(path, flags).MoveValue();
+  auto file = FileSystem::Default().Open(path, flags).MoveValue();
   const char payload[] = "0123456789";
   ASSERT_TRUE(file->Write(payload, 10, 0).ok());
   ASSERT_TRUE(file->Write(payload, 10, 100).ok());  // sparse offset write
@@ -67,33 +69,33 @@ TEST(FileSystemTest, WriteReadTruncate) {
   ASSERT_TRUE(file->Truncate(50).ok());
   EXPECT_EQ(file->FileSize().MoveValue(), 50u);
   file.reset();
-  EXPECT_TRUE(FileSystem::FileExists(path));
-  EXPECT_EQ(FileSystem::GetFileSize(path).MoveValue(), 50u);
-  ASSERT_TRUE(FileSystem::RemoveFile(path).ok());
-  EXPECT_FALSE(FileSystem::FileExists(path));
+  EXPECT_TRUE(FileSystem::Default().FileExists(path));
+  EXPECT_EQ(FileSystem::Default().GetFileSize(path).MoveValue(), 50u);
+  ASSERT_TRUE(FileSystem::Default().RemoveFile(path).ok());
+  EXPECT_FALSE(FileSystem::Default().FileExists(path));
   // Removing a missing file is not an error.
-  EXPECT_TRUE(FileSystem::RemoveFile(path).ok());
+  EXPECT_TRUE(FileSystem::Default().RemoveFile(path).ok());
 }
 
 TEST(FileSystemTest, OpenMissingFileFails) {
-  auto res = FileSystem::Open("/nonexistent/dir/file", FileOpenFlags{});
+  auto res = FileSystem::Default().Open("/nonexistent/dir/file", FileOpenFlags{});
   ASSERT_FALSE(res.ok());
   EXPECT_TRUE(res.status().IsIOError());
 }
 
 TEST(FileSystemTest, ReadPastEofFails) {
-  std::string path = ::testing::TempDir() + "ssagg_eof.bin";
+  std::string path = ::testing::TempDir() + "ssagg_eof.bin_" + std::to_string(::getpid());
   FileOpenFlags flags;
   flags.write = true;
   flags.create = true;
   flags.truncate = true;
-  auto file = FileSystem::Open(path, flags).MoveValue();
+  auto file = FileSystem::Default().Open(path, flags).MoveValue();
   ASSERT_TRUE(file->Write("xy", 2, 0).ok());
   file.reset();
-  auto reader = FileSystem::Open(path, FileOpenFlags{}).MoveValue();
+  auto reader = FileSystem::Default().Open(path, FileOpenFlags{}).MoveValue();
   char buffer[8];
   EXPECT_FALSE(reader->Read(buffer, 8, 0).ok());
-  (void)FileSystem::RemoveFile(path);
+  (void)FileSystem::Default().RemoveFile(path);
 }
 
 //===----------------------------------------------------------------------===//

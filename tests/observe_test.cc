@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <thread>
 #include <vector>
@@ -254,8 +256,8 @@ TEST(TraceRecorderTest, DisabledRecorderStaysSilent) {
 // ---------------------------------------------------------------- profile
 
 TEST(QueryProfileTest, SpillCountersMatchTemporaryFileGroundTruth) {
-  std::string temp_dir = ::testing::TempDir() + "ssagg_observe_test";
-  ASSERT_TRUE(FileSystem::CreateDirectories(temp_dir).ok());
+  std::string temp_dir = ::testing::TempDir() + "ssagg_observe_test_" + std::to_string(::getpid());
+  ASSERT_TRUE(FileSystem::Default().CreateDirectories(temp_dir).ok());
   // Trace the query too: a spilling run must produce balanced spans.
   TraceRecorder &recorder = TraceRecorder::Global();
   recorder.Clear();

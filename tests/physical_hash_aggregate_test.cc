@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <map>
 
 #include "common/file_system.h"
@@ -15,8 +17,8 @@ namespace {
 class HashAggregateE2ETest : public ::testing::TestWithParam<int> {
  protected:
   void SetUp() override {
-    temp_dir_ = ::testing::TempDir() + "ssagg_e2e_test";
-    (void)FileSystem::CreateDirectories(temp_dir_);
+    temp_dir_ = ::testing::TempDir() + "ssagg_e2e_test_" + std::to_string(::getpid());
+    (void)FileSystem::Default().CreateDirectories(temp_dir_);
   }
   idx_t Threads() const { return static_cast<idx_t>(GetParam()); }
   std::string temp_dir_;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstring>
 #include <string>
 
@@ -14,8 +16,8 @@ namespace {
 class RowSerializerTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir() + "ssagg_rowser";
-    (void)FileSystem::CreateDirectories(dir_);
+    dir_ = ::testing::TempDir() + "ssagg_rowser_" + std::to_string(::getpid());
+    (void)FileSystem::Default().CreateDirectories(dir_);
     layout_.Initialize({LogicalTypeId::kInt64, LogicalTypeId::kVarchar,
                         LogicalTypeId::kDouble});
   }
@@ -90,7 +92,7 @@ TEST_F(RowSerializerTest, RoundTripMixedRows) {
   }
   EXPECT_EQ(seen, kRows);
   ASSERT_TRUE(reader.Remove().ok());
-  EXPECT_FALSE(FileSystem::FileExists(path));
+  EXPECT_FALSE(FileSystem::Default().FileExists(path));
 }
 
 TEST_F(RowSerializerTest, LargeRowsSpanBufferRefills) {

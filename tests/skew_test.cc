@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include "ssagg/ssagg.h"
 
 namespace ssagg {
@@ -14,8 +16,8 @@ namespace {
 class SkewTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    temp_dir_ = ::testing::TempDir() + "ssagg_skew";
-    (void)FileSystem::CreateDirectories(temp_dir_);
+    temp_dir_ = ::testing::TempDir() + "ssagg_skew_" + std::to_string(::getpid());
+    (void)FileSystem::Default().CreateDirectories(temp_dir_);
   }
 
   /// Runs SUM over 1M rows with the given key function and returns the

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstring>
 
 #include "common/constants.h"
@@ -12,8 +14,8 @@ namespace {
 class TempFileManagerTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir() + "ssagg_tfm";
-    (void)FileSystem::CreateDirectories(dir_);
+    dir_ = ::testing::TempDir() + "ssagg_tfm_" + std::to_string(::getpid());
+    (void)FileSystem::Default().CreateDirectories(dir_);
   }
   std::string dir_;
 };
@@ -72,13 +74,13 @@ TEST_F(TempFileManagerTest, VariableBlocksGetOwnFiles) {
   FileBuffer big(3 * kPageSize + 999);
   std::memset(big.data(), 0xAB, big.size());
   ASSERT_TRUE(tfm.WriteVariableBlock(42, big).ok());
-  EXPECT_TRUE(FileSystem::FileExists(dir_ + "/ssagg_temp_var_42.tmp"));
+  EXPECT_TRUE(FileSystem::Default().FileExists(tfm.VariableFilePath(42)));
   EXPECT_EQ(tfm.CurrentSize(), big.size());
   FileBuffer read_back(big.size());
   ASSERT_TRUE(tfm.ReadVariableBlock(42, read_back).ok());
   EXPECT_EQ(std::memcmp(read_back.data(), big.data(), big.size()), 0);
   // Reading removes the file.
-  EXPECT_FALSE(FileSystem::FileExists(dir_ + "/ssagg_temp_var_42.tmp"));
+  EXPECT_FALSE(FileSystem::Default().FileExists(tfm.VariableFilePath(42)));
   EXPECT_EQ(tfm.CurrentSize(), 0u);
 }
 
@@ -87,7 +89,7 @@ TEST_F(TempFileManagerTest, FreeVariableBlockDeletesFile) {
   FileBuffer buffer(kPageSize + 1);
   ASSERT_TRUE(tfm.WriteVariableBlock(7, buffer).ok());
   tfm.FreeVariableBlock(7);
-  EXPECT_FALSE(FileSystem::FileExists(dir_ + "/ssagg_temp_var_7.tmp"));
+  EXPECT_FALSE(FileSystem::Default().FileExists(tfm.VariableFilePath(7)));
   EXPECT_EQ(tfm.CurrentSize(), 0u);
 }
 
@@ -97,10 +99,10 @@ TEST_F(TempFileManagerTest, DestructorRemovesTempFile) {
     TemporaryFileManager tfm(dir_);
     FileBuffer buffer(kPageSize);
     (void)tfm.WriteFixedBlock(buffer);
-    temp_path = dir_ + "/ssagg_temp.tmp";
-    EXPECT_TRUE(FileSystem::FileExists(temp_path));
+    temp_path = tfm.FixedFilePath();
+    EXPECT_TRUE(FileSystem::Default().FileExists(temp_path));
   }
-  EXPECT_FALSE(FileSystem::FileExists(temp_path));
+  EXPECT_FALSE(FileSystem::Default().FileExists(temp_path));
 }
 
 TEST_F(TempFileManagerTest, PeakTracksHighWaterMark) {
