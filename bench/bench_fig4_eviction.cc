@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "common/mutex.h"
 #include "harness_util.h"
 
 using namespace ssagg;         // NOLINT(build/namespaces)
@@ -48,7 +49,7 @@ ScenarioResult RunScenario(DataTable &table, const tpch::GroupingQuery &query,
   bm.SetEvictionPolicy(policy);
   auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> workers;
-  std::mutex error_lock;
+  Mutex error_lock;
   for (idx_t c = 0; c < connections; c++) {
     workers.emplace_back([&, c]() {
       (void)c;
@@ -60,7 +61,7 @@ ScenarioResult RunScenario(DataTable &table, const tpch::GroupingQuery &query,
                                            query.aggregates, collector,
                                            executor, options.AggConfig());
         if (!stats.ok()) {
-          std::lock_guard<std::mutex> guard(error_lock);
+          ScopedLock guard(error_lock);
           result.ok = false;
           result.error = stats.status().ToString();
           return;

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Builds the tree and runs the test suite, then repeats the run under
-# ASan+UBSan (SSAGG_SANITIZE wires the flags through the whole tree).
-# The batched-append and pointer-recomputation code paths are exactly where
-# the sanitizers earn their keep.
+# ASan+UBSan and under TSan (SSAGG_SANITIZE wires the flags through the
+# whole tree). The batched-append and pointer-recomputation code paths are
+# exactly where the sanitizers earn their keep.
 #
 # The plain build additionally runs a profile smoke step: a memory-limited
 # (spilling) query with SSAGG_TRACE on, asserting that the emitted profile
@@ -13,7 +13,13 @@
 # ASan+UBSan, which is where leaked pins and double-frees on error paths
 # actually surface.
 #
-# Usage: scripts/check.sh [--asan-only|--plain-only]
+# The TSan build is the runtime half of the concurrency gate (DESIGN.md
+# section 9): the compile half is Clang's -Wthread-safety over the
+# annotations in src/common/mutex.h, so the TSan leg also fails if the
+# build log contains any thread-safety diagnostic (belt and braces when the
+# compiler is Clang but SSAGG_THREAD_SAFETY_ANALYSIS was overridden off).
+#
+# Usage: scripts/check.sh [--asan-only|--plain-only|--tsan-only]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -75,7 +81,7 @@ EOF
   rm -rf "$work"
 }
 
-if [[ "$MODE" != "--asan-only" ]]; then
+if [[ "$MODE" != "--asan-only" && "$MODE" != "--tsan-only" ]]; then
   echo "=== plain build + ctest ==="
   run_build build
   profile_smoke build
@@ -88,10 +94,33 @@ fault_sweep_smoke() {
       --gtest_filter='FaultSweepTest.*:SortSpillSweepTest.*:PartitionSpillSweepTest.*:SpillStressTest.*'
 }
 
-if [[ "$MODE" != "--plain-only" ]]; then
+if [[ "$MODE" != "--plain-only" && "$MODE" != "--tsan-only" ]]; then
   echo "=== ASan+UBSan build + ctest ==="
   run_build build-san -DSSAGG_SANITIZE=address,undefined
   fault_sweep_smoke build-san
+fi
+
+tsan_build() {
+  local dir="$1"
+  cmake -B "$dir" -S . -DSSAGG_SANITIZE=thread
+  # Fail if the compiler emitted any thread-safety diagnostic: the CMake
+  # option promotes them to errors under Clang, but a stray warning (e.g.
+  # with the option overridden) must not slip through either.
+  local log
+  log=$(mktemp)
+  cmake --build "$dir" -j "$JOBS" 2>&1 | tee "$log"
+  if grep -q '\-Wthread-safety' "$log"; then
+    echo "thread-safety analysis warnings in the TSan build (see above)" >&2
+    rm -f "$log"
+    exit 1
+  fi
+  rm -f "$log"
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+if [[ "$MODE" != "--plain-only" && "$MODE" != "--asan-only" ]]; then
+  echo "=== TSan build + ctest ==="
+  tsan_build build-tsan
 fi
 
 echo "all checks passed"

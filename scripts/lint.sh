@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Static checks for the ssagg tree: grep-based lint rules that encode the
+# repo's concurrency discipline (see DESIGN.md section 9), plus clang-tidy
+# when it is installed (the grep rules always run, so CI without clang-tidy
+# still enforces the discipline).
+#
+# Rules:
+#   1. No raw std::mutex / std::shared_mutex / std::condition_variable /
+#      lock guards outside src/common/mutex.h — everything goes through the
+#      annotated ssagg wrappers so the Clang capability analysis sees it.
+#   2. Every SSAGG_NO_THREAD_SAFETY_ANALYSIS escape hatch needs an adjacent
+#      "// SAFETY:" comment explaining why the analysis is wrong.
+#   3. A Pin() result must never be discarded: dropping the BufferHandle on
+#      the floor immediately unpins the page, which silently turns "pinned"
+#      code into a use-after-evict.
+#
+# Usage: scripts/lint.sh
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+
+FAILED=0
+fail() {
+  echo "lint: $1" >&2
+  FAILED=1
+}
+
+SOURCES="src tests bench examples"
+
+# --- Rule 1: raw synchronization primitives ---------------------------------
+raw=$(grep -rn \
+    -e 'std::mutex' -e 'std::shared_mutex' -e 'std::recursive_mutex' \
+    -e 'std::condition_variable' -e 'std::lock_guard' -e 'std::unique_lock' \
+    -e 'std::scoped_lock' -e 'std::shared_lock' \
+    -e 'include <mutex>' -e 'include <shared_mutex>' \
+    -e 'include <condition_variable>' \
+    $SOURCES --include='*.h' --include='*.cc' \
+    | grep -v '^src/common/mutex.h:')
+if [[ -n "$raw" ]]; then
+  echo "$raw" >&2
+  fail "raw std synchronization primitive outside src/common/mutex.h;" \
+       "use ssagg::Mutex / ScopedLock / CondVar (common/mutex.h)"
+fi
+
+# --- Rule 2: analysis escapes need a SAFETY comment --------------------------
+# The macro definition itself lives in common/mutex.h; every *use* must have
+# "// SAFETY:" on the same or the preceding line.
+while IFS=: read -r file line _; do
+  [[ "$file" == "src/common/mutex.h" ]] && continue
+  prev=$((line - 1))
+  context=$(sed -n "${prev}p;${line}p" "$file")
+  if ! grep -q '// SAFETY:' <<<"$context"; then
+    fail "$file:$line: SSAGG_NO_THREAD_SAFETY_ANALYSIS without an adjacent '// SAFETY:' comment"
+  fi
+done < <(grep -rn 'SSAGG_NO_THREAD_SAFETY_ANALYSIS' $SOURCES \
+         --include='*.h' --include='*.cc' || true)
+
+# --- Rule 3: discarded pins ---------------------------------------------------
+# A statement that calls .Pin(...) and ends in ';' on the same line without
+# assigning the result destroys the BufferHandle (and the pin) immediately.
+# Lines continuing a previous statement (ending in ',' or '(') are skipped.
+discarded=$(find $SOURCES -name '*.h' -o -name '*.cc' | sort | xargs awk '
+  FNR == 1 { prev = "" }
+  /^[ \t]*[A-Za-z_][A-Za-z0-9_.]*(->|\.)Pin\(.*;[ \t]*$/ \
+      && $0 !~ /=|return|\(void\)|SSAGG_/ \
+      && prev !~ /[,(][ \t]*$/ {
+    printf "%s:%d: %s\n", FILENAME, FNR, $0
+  }
+  { prev = $0 }
+' || true)
+if [[ -n "$discarded" ]]; then
+  echo "$discarded" >&2
+  fail "Pin() result discarded: the page is unpinned again before use"
+fi
+
+# --- clang-tidy (optional) ----------------------------------------------------
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [[ ! -f build/compile_commands.json ]]; then
+    cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  fi
+  echo "=== clang-tidy ==="
+  if ! find src -name '*.cc' -print0 \
+      | xargs -0 -P "$(nproc 2>/dev/null || echo 4)" -n 8 \
+          clang-tidy -p build --quiet; then
+    fail "clang-tidy reported errors"
+  fi
+else
+  echo "lint: clang-tidy not installed, skipping (grep rules still enforced)"
+fi
+
+if [[ "$FAILED" -ne 0 ]]; then
+  echo "lint failed" >&2
+  exit 1
+fi
+echo "lint passed"

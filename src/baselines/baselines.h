@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "buffer/buffer_manager.h"
+#include "common/mutex.h"
 #include "core/run_aggregation.h"
 #include "execution/operator.h"
 #include "execution/task_executor.h"
@@ -86,8 +87,8 @@ class TwoLevelSpillAggregate : public DataSink {
 
   Status EmitResults(DataSink &output, TaskExecutor &executor);
 
-  bool Spilled() const { return spilled_.load(std::memory_order_relaxed); }
-  idx_t SpilledBytes() const { return spilled_bytes_.load(); }
+  [[nodiscard]] bool Spilled() const { return spilled_.load(std::memory_order_relaxed); }
+  [[nodiscard]] idx_t SpilledBytes() const { return spilled_bytes_.load(); }
 
  private:
   struct LocalState;
@@ -105,8 +106,10 @@ class TwoLevelSpillAggregate : public DataSink {
   /// Serializes every partition of the local hash table to run files and
   /// clears it.
   Status SpillLocal(LocalState &local);
-  Status AggregatePartition(idx_t partition_idx, DataSink &output,
-                            TaskExecutor &executor);
+  /// `data` is the merged global partition set, resolved under the lock by
+  /// EmitResults; each task owns its partition exclusively.
+  Status AggregatePartition(PartitionedTupleData &data, idx_t partition_idx,
+                            DataSink &output, TaskExecutor &executor);
 
   /// Deletes every registered run file and forgets it.
   void RemoveRunFiles();
@@ -115,9 +118,9 @@ class TwoLevelSpillAggregate : public DataSink {
   AggregateRowLayout row_layout_;
   Config config_;
 
-  std::mutex lock_;
-  std::unique_ptr<PartitionedTupleData> global_data_;
-  std::vector<std::vector<RunInfo>> partition_runs_;
+  Mutex lock_;
+  std::unique_ptr<PartitionedTupleData> global_data_ SSAGG_GUARDED_BY(lock_);
+  std::vector<std::vector<RunInfo>> partition_runs_ SSAGG_GUARDED_BY(lock_);
   std::atomic<idx_t> next_run_id_{0};
   /// Embedded in run-file names: temp directories are shared across
   /// operator instances and concurrent processes.

@@ -3,10 +3,10 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 
 #include "buffer/file_buffer.h"
 #include "common/constants.h"
+#include "common/mutex.h"
 
 namespace ssagg {
 
@@ -70,20 +70,24 @@ class BlockHandle : public std::enable_shared_from_this<BlockHandle> {
   /// Only set for persistent blocks: where to read the block from.
   FileBlockManager *block_manager_;
 
-  std::mutex lock_;
-  BlockState state_ = BlockState::kUnloaded;
-  std::unique_ptr<FileBuffer> buffer_;
+  /// Protects the block's load/spill state below. Lock order: lock_ may be
+  /// held while acquiring BufferManager::queue_lock_ and
+  /// TemporaryFileManager::lock_ (spilling), never the other way around
+  /// (eviction only try-locks block handles); see DESIGN.md section 9.
+  Mutex lock_;
+  BlockState state_ SSAGG_GUARDED_BY(lock_) = BlockState::kUnloaded;
+  std::unique_ptr<FileBuffer> buffer_ SSAGG_GUARDED_BY(lock_);
   std::atomic<int32_t> readers_{0};
   /// Incremented on every unpin; eviction-queue entries remember the value
   /// they were enqueued with so stale entries can be skipped (approximate
   /// LRU with lazy invalidation).
   std::atomic<uint64_t> eviction_seq_{0};
   /// Slot in the shared temporary file while spilled (fixed-size blocks).
-  idx_t temp_slot_ = kInvalidIndex;
+  idx_t temp_slot_ SSAGG_GUARDED_BY(lock_) = kInvalidIndex;
   /// True once a variable-size block has been written to its own temp file.
-  bool spilled_to_own_file_ = false;
+  bool spilled_to_own_file_ SSAGG_GUARDED_BY(lock_) = false;
   /// Set when the contents were dropped (can_destroy) or destroyed.
-  bool destroyed_ = false;
+  bool destroyed_ SSAGG_GUARDED_BY(lock_) = false;
 };
 
 }  // namespace ssagg

@@ -34,13 +34,13 @@ class BufferHandle {
     return *this;
   }
 
-  bool IsValid() const { return buffer_ != nullptr; }
+  [[nodiscard]] bool IsValid() const { return buffer_ != nullptr; }
 
-  data_ptr_t Ptr() {
+  [[nodiscard]] data_ptr_t Ptr() {
     SSAGG_DASSERT(IsValid());
     return buffer_->data();
   }
-  const_data_ptr_t Ptr() const {
+  [[nodiscard]] const_data_ptr_t Ptr() const {
     SSAGG_DASSERT(IsValid());
     return buffer_->data();
   }

@@ -64,8 +64,8 @@ BufferManager::BufferManager(std::string temp_directory, idx_t memory_limit,
     : temp_directory_(std::move(temp_directory)),
       fs_(fs),
       memory_limit_(memory_limit),
-      policy_(policy),
-      temp_files_(temp_directory_, fs) {
+      temp_files_(temp_directory_, fs),
+      policy_(policy) {
   MetricsRegistry &registry = MetricsRegistry::Global();
   key_evict_persistent_ = registry.KeyId("bm.evictions_persistent");
   key_evict_temp_spilled_ = registry.KeyId("bm.evictions_temporary_spilled");
@@ -77,15 +77,20 @@ BufferManager::BufferManager(std::string temp_directory, idx_t memory_limit,
 
 BufferManager::~BufferManager() = default;
 
-idx_t BufferManager::QueueIndex(BlockKind kind) const {
+idx_t BufferManager::QueueIndexLocked(BlockKind kind) const {
   if (policy_ == EvictionPolicy::kMixed) {
     return 0;
   }
   return kind == BlockKind::kPersistent ? 1 : 0;
 }
 
+EvictionPolicy BufferManager::policy() const {
+  ScopedLock guard(queue_lock_);
+  return policy_;
+}
+
 void BufferManager::SetEvictionPolicy(EvictionPolicy policy) {
-  std::lock_guard<std::mutex> guard(queue_lock_);
+  ScopedLock guard(queue_lock_);
   // Redistribute existing entries according to the new policy's queue
   // mapping. Stale entries are carried along; they are skipped lazily.
   std::deque<EvictionEntry> all;
@@ -101,7 +106,7 @@ void BufferManager::SetEvictionPolicy(EvictionPolicy policy) {
     if (!handle) {
       continue;
     }
-    queues_[QueueIndex(handle->kind())].push_back(std::move(entry));
+    queues_[QueueIndexLocked(handle->kind())].push_back(std::move(entry));
   }
 }
 
@@ -138,17 +143,19 @@ Status BufferManager::SpillBlock(BlockHandle &block) {
 
 Result<std::unique_ptr<FileBuffer>> BufferManager::EvictOneBlock(
     idx_t reuse_size) {
-  // Order in which the queues are drained, per policy.
-  idx_t order[2] = {0, 1};
-  if (policy_ == EvictionPolicy::kPersistentFirst) {
-    order[0] = 1;
-    order[1] = 0;
-  }
   while (true) {
     std::shared_ptr<BlockHandle> candidate;
     uint64_t entry_seq = 0;
     {
-      std::lock_guard<std::mutex> guard(queue_lock_);
+      ScopedLock guard(queue_lock_);
+      // Order in which the queues are drained, per policy. Computed under
+      // the queue lock: policy_ may change concurrently (it used to be read
+      // unlocked here, racing with SetEvictionPolicy).
+      idx_t order[2] = {0, 1};
+      if (policy_ == EvictionPolicy::kPersistentFirst) {
+        order[0] = 1;
+        order[1] = 0;
+      }
       for (idx_t qi : order) {
         while (!queues_[qi].empty()) {
           EvictionEntry entry = std::move(queues_[qi].front());
@@ -180,13 +187,12 @@ Result<std::unique_ptr<FileBuffer>> BufferManager::EvictOneBlock(
       return Status::OutOfMemory(
           "memory limit exceeded and no page can be evicted");
     }
-    std::unique_lock<std::mutex> block_lock(candidate->lock_,
-                                            std::try_to_lock);
-    if (!block_lock.owns_lock()) {
+    if (!candidate->lock_.try_lock()) {
       // Someone is pinning or evicting this block; its queue entry will be
       // recreated on the next unpin if needed.
       continue;
     }
+    ScopedLock block_lock(candidate->lock_, std::adopt_lock);
     if (candidate->eviction_seq_.load(std::memory_order_relaxed) !=
             entry_seq ||
         candidate->readers_.load(std::memory_order_relaxed) != 0 ||
@@ -197,7 +203,7 @@ Result<std::unique_ptr<FileBuffer>> BufferManager::EvictOneBlock(
     BlockKind kind = candidate->kind_;
     idx_t size = candidate->size_;
     if (kind != BlockKind::kPersistent && !candidate->can_destroy_ &&
-        !spill_temporary_) {
+        !spill_temporary_.load(std::memory_order_relaxed)) {
       // In-memory-only mode: temporary pages cannot be offloaded. Drop the
       // queue entry and keep looking; with nothing else evictable the
       // reservation fails with OutOfMemory (the engine "aborts").
@@ -222,8 +228,8 @@ Result<std::unique_ptr<FileBuffer>> BufferManager::EvictOneBlock(
         uint64_t seq =
             candidate->eviction_seq_.fetch_add(1, std::memory_order_relaxed) +
             1;
-        std::lock_guard<std::mutex> guard(queue_lock_);
-        queues_[QueueIndex(candidate->kind_)].push_back(
+        ScopedLock guard(queue_lock_);
+        queues_[QueueIndexLocked(candidate->kind_)].push_back(
             EvictionEntry{candidate->weak_from_this(), seq});
         return spill;
       }
@@ -246,8 +252,9 @@ Result<std::unique_ptr<FileBuffer>> BufferManager::EvictOneBlock(
 }
 
 Result<std::unique_ptr<FileBuffer>> BufferManager::ReserveMemory(idx_t size) {
-  if (fault_injector_ != nullptr) {
-    SSAGG_RETURN_NOT_OK(fault_injector_->Hit(FaultSite::kAllocate));
+  if (FaultInjector *injector =
+          fault_injector_.load(std::memory_order_acquire)) {
+    SSAGG_RETURN_NOT_OK(injector->Hit(FaultSite::kAllocate));
   }
   while (true) {
     idx_t current = memory_used_.load(std::memory_order_relaxed);
@@ -283,15 +290,21 @@ Result<BufferHandle> BufferManager::Allocate(
   auto handle = std::make_shared<BlockHandle>(
       *this, next_temp_block_id_.fetch_add(1), kind, size, can_destroy,
       nullptr);
-  handle->buffer_ = std::move(buffer);
-  handle->state_ = BlockState::kLoaded;
-  handle->readers_.store(1, std::memory_order_relaxed);
+  FileBuffer *raw;
+  {
+    // The handle has not been published yet; the lock is uncontended and
+    // taken only to satisfy the capability analysis uniformly.
+    ScopedLock lock(handle->lock_);
+    handle->buffer_ = std::move(buffer);
+    handle->state_ = BlockState::kLoaded;
+    handle->readers_.store(1, std::memory_order_relaxed);
+    raw = handle->buffer_.get();
+  }
   pinned_buffers_.fetch_add(1, std::memory_order_relaxed);
   ChargeLoaded(kind, size);
   if (out_handle) {
     *out_handle = handle;
   }
-  FileBuffer *raw = handle->buffer_.get();
   return BufferHandle(std::move(handle), raw);
 }
 
@@ -304,10 +317,11 @@ std::shared_ptr<BlockHandle> BufferManager::RegisterPersistentBlock(
 
 Result<BufferHandle> BufferManager::Pin(
     const std::shared_ptr<BlockHandle> &handle) {
-  if (fault_injector_ != nullptr) {
-    SSAGG_RETURN_NOT_OK(fault_injector_->Hit(FaultSite::kPin));
+  if (FaultInjector *injector =
+          fault_injector_.load(std::memory_order_acquire)) {
+    SSAGG_RETURN_NOT_OK(injector->Hit(FaultSite::kPin));
   }
-  std::unique_lock<std::mutex> lock(handle->lock_);
+  ScopedLock lock(handle->lock_);
   if (handle->destroyed_) {
     return Status::Aborted("pin of a destroyed block");
   }
@@ -361,7 +375,7 @@ Result<BufferHandle> BufferManager::Pin(
 }
 
 void BufferManager::Unpin(BlockHandle &block) {
-  std::unique_lock<std::mutex> lock(block.lock_);
+  ScopedLock lock(block.lock_);
   int32_t readers = block.readers_.fetch_sub(1, std::memory_order_relaxed) - 1;
   pinned_buffers_.fetch_sub(1, std::memory_order_relaxed);
   SSAGG_DASSERT(readers >= 0);
@@ -379,15 +393,15 @@ void BufferManager::Unpin(BlockHandle &block) {
   // Becomes an eviction candidate.
   uint64_t seq =
       block.eviction_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
-  std::lock_guard<std::mutex> guard(queue_lock_);
+  ScopedLock guard(queue_lock_);
   // weak_from_this is never expired here: the caller (BufferHandle) still
   // holds a shared_ptr.
-  queues_[QueueIndex(block.kind_)].push_back(
+  queues_[QueueIndexLocked(block.kind_)].push_back(
       EvictionEntry{block.weak_from_this(), seq});
 }
 
 void BufferManager::DestroyBlock(const std::shared_ptr<BlockHandle> &handle) {
-  std::unique_lock<std::mutex> lock(handle->lock_);
+  ScopedLock lock(handle->lock_);
   if (handle->destroyed_) {
     return;
   }
@@ -414,7 +428,10 @@ void BufferManager::DestroyBlock(const std::shared_ptr<BlockHandle> &handle) {
 }
 
 void BufferManager::CleanupDroppedBlock(BlockHandle &block) {
-  // Destructor context: exclusive access, no locking needed.
+  // Destructor context: the last shared_ptr is gone and eviction's weak_ptrs
+  // can no longer be upgraded, so the lock is uncontended; taken anyway to
+  // keep the capability analysis free of escapes.
+  ScopedLock lock(block.lock_);
   if (block.destroyed_) {
     return;
   }

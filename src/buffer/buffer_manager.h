@@ -4,7 +4,6 @@
 #include <atomic>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "buffer/block_handle.h"
@@ -13,6 +12,7 @@
 #include "buffer/temporary_file_manager.h"
 #include "common/constants.h"
 #include "common/file_system.h"
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace ssagg {
@@ -139,19 +139,19 @@ class BufferManager {
   Status ReserveExternalMemory(idx_t size);
   void FreeExternalMemory(idx_t size);
 
-  idx_t memory_used() const {
+  [[nodiscard]] idx_t memory_used() const {
     return memory_used_.load(std::memory_order_relaxed);
   }
-  idx_t memory_limit() const {
+  [[nodiscard]] idx_t memory_limit() const {
     return memory_limit_.load(std::memory_order_relaxed);
   }
   /// Adjusting the limit only affects future reservations; it does not
   /// proactively evict.
   void SetMemoryLimit(idx_t limit) { memory_limit_.store(limit); }
-  EvictionPolicy policy() const { return policy_; }
+  [[nodiscard]] EvictionPolicy policy() const;
   void SetEvictionPolicy(EvictionPolicy policy);
 
-  BufferManagerSnapshot Snapshot() const;
+  [[nodiscard]] BufferManagerSnapshot Snapshot() const;
   TemporaryFileManager &temp_files() { return temp_files_; }
   const TemporaryFileManager &temp_files() const { return temp_files_; }
   /// The file system this pool (and its temporary files) performs I/O
@@ -161,7 +161,7 @@ class BufferManager {
 
   /// Outstanding pins across all blocks (see
   /// BufferManagerSnapshot::pinned_buffers).
-  idx_t PinnedBufferCount() const {
+  [[nodiscard]] idx_t PinnedBufferCount() const {
     return static_cast<idx_t>(pinned_buffers_.load(std::memory_order_relaxed));
   }
 
@@ -170,15 +170,19 @@ class BufferManager {
   /// (FaultSite::kPin), so tests can deny the Nth allocation/pin and prove
   /// the failure unwinds cleanly. Not owned; must outlive its use.
   void SetFaultInjector(FaultInjector *injector) {
-    fault_injector_ = injector;
+    fault_injector_.store(injector, std::memory_order_release);
   }
 
   /// When disabled, temporary pages are never written to temporary files:
   /// the pool behaves like an in-memory-only engine's (persistent pages
   /// still evict for free), and reservations fail with OutOfMemory once
   /// only temporary pages remain. Used by the baseline system models.
-  void SetSpillTemporary(bool spill) { spill_temporary_ = spill; }
-  bool spill_temporary() const { return spill_temporary_; }
+  void SetSpillTemporary(bool spill) {
+    spill_temporary_.store(spill, std::memory_order_relaxed);
+  }
+  bool spill_temporary() const {
+    return spill_temporary_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class BlockHandle;
@@ -194,8 +198,9 @@ class BufferManager {
   };
 
   /// Index into queues_: temporaries and persistents may share queue 0
-  /// (mixed policy) or be split.
-  idx_t QueueIndex(BlockKind kind) const;
+  /// (mixed policy) or be split. Depends on policy_, so the queue lock must
+  /// be held.
+  idx_t QueueIndexLocked(BlockKind kind) const SSAGG_REQUIRES(queue_lock_);
 
   /// Makes room for `size` bytes, evicting pages as needed. On success the
   /// reservation is charged to memory_used_. If an evicted buffer has
@@ -209,7 +214,7 @@ class BufferManager {
 
   /// Writes a temporary block to storage as part of eviction. Called with
   /// the block lock held.
-  Status SpillBlock(BlockHandle &block);
+  Status SpillBlock(BlockHandle &block) SSAGG_REQUIRES(block.lock_);
 
   /// Called by BufferHandle::Reset.
   void Unpin(BlockHandle &block);
@@ -222,9 +227,8 @@ class BufferManager {
   std::string temp_directory_;
   FileSystem &fs_;
   std::atomic<idx_t> memory_limit_;
-  EvictionPolicy policy_;
-  bool spill_temporary_ = true;
-  FaultInjector *fault_injector_ = nullptr;
+  std::atomic<bool> spill_temporary_{true};
+  std::atomic<FaultInjector *> fault_injector_{nullptr};
   TemporaryFileManager temp_files_;
 
   std::atomic<idx_t> memory_used_{0};
@@ -233,8 +237,12 @@ class BufferManager {
   std::atomic<idx_t> non_paged_bytes_{0};
   std::atomic<block_id_t> next_temp_block_id_{0};
 
-  mutable std::mutex queue_lock_;
-  std::deque<EvictionEntry> queues_[2];
+  /// Protects the eviction queues and the policy that maps blocks to them.
+  /// Leaf-most lock of the pool: it is only held for queue manipulation,
+  /// never while performing I/O or acquiring any other mutex.
+  mutable Mutex queue_lock_;
+  EvictionPolicy policy_ SSAGG_GUARDED_BY(queue_lock_);
+  std::deque<EvictionEntry> queues_[2] SSAGG_GUARDED_BY(queue_lock_);
 
   std::atomic<idx_t> evicted_persistent_count_{0};
   std::atomic<idx_t> evicted_temporary_count_{0};

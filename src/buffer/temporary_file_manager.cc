@@ -36,7 +36,7 @@ TemporaryFileManager::TemporaryFileManager(std::string directory,
 }
 
 TemporaryFileManager::~TemporaryFileManager() {
-  std::lock_guard<std::mutex> guard(lock_);
+  ScopedLock guard(lock_);
   if (fixed_file_) {
     std::string path = fixed_file_->path();
     fixed_file_.reset();
@@ -47,7 +47,7 @@ TemporaryFileManager::~TemporaryFileManager() {
   }
 }
 
-Status TemporaryFileManager::EnsureFixedFile() {
+Status TemporaryFileManager::EnsureFixedFileLocked() {
   if (fixed_file_) {
     return Status::OK();
   }
@@ -69,9 +69,14 @@ Result<idx_t> TemporaryFileManager::WriteFixedBlock(const FileBuffer &buffer) {
   SSAGG_DASSERT(buffer.size() == kPageSize);
   TraceSpan span("spill.write", "io");
   idx_t slot;
+  FileHandle *file;
   {
-    std::lock_guard<std::mutex> guard(lock_);
-    SSAGG_RETURN_NOT_OK(EnsureFixedFile());
+    ScopedLock guard(lock_);
+    SSAGG_RETURN_NOT_OK(EnsureFixedFileLocked());
+    // Capture the handle under the lock; the positioned write below runs
+    // unlocked so concurrent spills overlap their I/O. (The write used to
+    // dereference fixed_file_ unlocked, racing with EnsureFixedFileLocked.)
+    file = fixed_file_.get();
     if (!free_slots_.empty()) {
       slot = free_slots_.back();
       free_slots_.pop_back();
@@ -81,11 +86,11 @@ Result<idx_t> TemporaryFileManager::WriteFixedBlock(const FileBuffer &buffer) {
     }
     used_slots_++;
     write_count_++;
-    UpdatePeak();
+    UpdatePeakLocked();
   }
   Status status;
   uint64_t ns = TimedNs([&]() {
-    status = fixed_file_->Write(buffer.data(), kPageSize, slot * kPageSize);
+    status = file->Write(buffer.data(), kPageSize, slot * kPageSize);
   });
   if (!status.ok()) {
     // Roll the slot back: a failed spill must not leak temp-file space (the
@@ -100,14 +105,24 @@ Result<idx_t> TemporaryFileManager::WriteFixedBlock(const FileBuffer &buffer) {
 Status TemporaryFileManager::ReadFixedBlock(idx_t slot, FileBuffer &buffer) {
   SSAGG_DASSERT(buffer.size() == kPageSize);
   TraceSpan span("spill.read", "io");
+  FileHandle *file;
+  {
+    // The handle pointer is guarded state; the positioned read itself runs
+    // unlocked. (This read used to dereference fixed_file_ with no lock at
+    // all — a data race against the first concurrent spill write creating
+    // the file.)
+    ScopedLock guard(lock_);
+    SSAGG_ASSERT(fixed_file_ != nullptr);
+    file = fixed_file_.get();
+  }
   Status status;
   uint64_t ns = TimedNs([&]() {
-    status = fixed_file_->Read(buffer.data(), kPageSize, slot * kPageSize);
+    status = file->Read(buffer.data(), kPageSize, slot * kPageSize);
   });
   SSAGG_RETURN_NOT_OK(status);
   FreeFixedSlot(slot);
   {
-    std::lock_guard<std::mutex> guard(lock_);
+    ScopedLock guard(lock_);
     read_count_++;
   }
   RecordRead(kPageSize, ns);
@@ -133,7 +148,7 @@ void TemporaryFileManager::RecordRead(idx_t bytes, uint64_t ns) {
 }
 
 void TemporaryFileManager::FreeFixedSlot(idx_t slot) {
-  std::lock_guard<std::mutex> guard(lock_);
+  ScopedLock guard(lock_);
   free_slots_.push_back(slot);
   SSAGG_DASSERT(used_slots_ > 0);
   used_slots_--;
@@ -148,12 +163,12 @@ Status TemporaryFileManager::WriteVariableBlock(block_id_t id,
                                                 const FileBuffer &buffer) {
   TraceSpan span("spill.write", "io", buffer.size());
   {
-    std::lock_guard<std::mutex> guard(lock_);
+    ScopedLock guard(lock_);
     SSAGG_RETURN_NOT_OK(fs_.CreateDirectories(directory_));
     variable_sizes_[id] = buffer.size();
     write_count_++;
     variable_files_created_++;
-    UpdatePeak();
+    UpdatePeakLocked();
   }
   FileOpenFlags flags;
   flags.read = false;
@@ -189,7 +204,7 @@ Status TemporaryFileManager::ReadVariableBlock(block_id_t id,
   SSAGG_RETURN_NOT_OK(status);
   FreeVariableBlock(id);
   {
-    std::lock_guard<std::mutex> guard(lock_);
+    ScopedLock guard(lock_);
     read_count_++;
   }
   RecordRead(buffer.size(), ns);
@@ -197,7 +212,7 @@ Status TemporaryFileManager::ReadVariableBlock(block_id_t id,
 }
 
 void TemporaryFileManager::FreeVariableBlock(block_id_t id) {
-  std::lock_guard<std::mutex> guard(lock_);
+  ScopedLock guard(lock_);
   auto it = variable_sizes_.find(id);
   if (it == variable_sizes_.end()) {
     return;
@@ -207,17 +222,37 @@ void TemporaryFileManager::FreeVariableBlock(block_id_t id) {
 }
 
 idx_t TemporaryFileManager::UsedSlots() const {
-  std::lock_guard<std::mutex> guard(lock_);
+  ScopedLock guard(lock_);
   return used_slots_;
 }
 
 idx_t TemporaryFileManager::VariableBlockCount() const {
-  std::lock_guard<std::mutex> guard(lock_);
+  ScopedLock guard(lock_);
   return variable_sizes_.size();
 }
 
+idx_t TemporaryFileManager::WriteCount() const {
+  ScopedLock guard(lock_);
+  return write_count_;
+}
+
+idx_t TemporaryFileManager::ReadCount() const {
+  ScopedLock guard(lock_);
+  return read_count_;
+}
+
+idx_t TemporaryFileManager::SlotReuses() const {
+  ScopedLock guard(lock_);
+  return slot_reuses_;
+}
+
+idx_t TemporaryFileManager::VariableFilesCreated() const {
+  ScopedLock guard(lock_);
+  return variable_files_created_;
+}
+
 idx_t TemporaryFileManager::CurrentSize() const {
-  std::lock_guard<std::mutex> guard(lock_);
+  ScopedLock guard(lock_);
   idx_t variable = 0;
   for (auto &entry : variable_sizes_) {
     variable += entry.second;
@@ -226,12 +261,11 @@ idx_t TemporaryFileManager::CurrentSize() const {
 }
 
 idx_t TemporaryFileManager::PeakSize() const {
-  std::lock_guard<std::mutex> guard(lock_);
+  ScopedLock guard(lock_);
   return peak_size_;
 }
 
-void TemporaryFileManager::UpdatePeak() {
-  // Called with lock_ held.
+void TemporaryFileManager::UpdatePeakLocked() {
   idx_t variable = 0;
   for (auto &entry : variable_sizes_) {
     variable += entry.second;

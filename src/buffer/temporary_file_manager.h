@@ -3,13 +3,13 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "buffer/file_buffer.h"
 #include "common/file_system.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "observe/metrics.h"
 
@@ -48,49 +48,49 @@ class TemporaryFileManager {
   void FreeVariableBlock(block_id_t id);
 
   /// Bytes currently occupied in temporary storage (both kinds).
-  idx_t CurrentSize() const;
+  [[nodiscard]] idx_t CurrentSize() const;
   /// Highest CurrentSize observed.
-  idx_t PeakSize() const;
+  [[nodiscard]] idx_t PeakSize() const;
   /// Fixed-file slots currently holding a spilled page. Zero when no query
   /// state is alive — the no-leak invariant the fault suite asserts.
-  idx_t UsedSlots() const;
+  [[nodiscard]] idx_t UsedSlots() const;
   /// Live variable-size temporary files (same invariant).
-  idx_t VariableBlockCount() const;
-  idx_t WriteCount() const { return write_count_; }
-  idx_t ReadCount() const { return read_count_; }
+  [[nodiscard]] idx_t VariableBlockCount() const;
+  [[nodiscard]] idx_t WriteCount() const;
+  [[nodiscard]] idx_t ReadCount() const;
 
   /// I/O accounting — the observability layer's ground truth for spill
   /// volume: every byte handed to / read back from temporary storage.
-  idx_t BytesWritten() const {
+  [[nodiscard]] idx_t BytesWritten() const {
     return bytes_written_.load(std::memory_order_relaxed);
   }
-  idx_t BytesRead() const {
+  [[nodiscard]] idx_t BytesRead() const {
     return bytes_read_.load(std::memory_order_relaxed);
   }
   /// Wall-clock seconds spent inside the write/read syscalls.
-  double WriteSeconds() const {
+  [[nodiscard]] double WriteSeconds() const {
     return static_cast<double>(write_ns_.load(std::memory_order_relaxed)) /
            1e9;
   }
-  double ReadSeconds() const {
+  [[nodiscard]] double ReadSeconds() const {
     return static_cast<double>(read_ns_.load(std::memory_order_relaxed)) / 1e9;
   }
   /// Fixed-file slots handed out from the free list (vs. file growth).
-  idx_t SlotReuses() const { return slot_reuses_; }
+  [[nodiscard]] idx_t SlotReuses() const;
   /// Variable-size temporary files ever created.
-  idx_t VariableFilesCreated() const { return variable_files_created_; }
+  [[nodiscard]] idx_t VariableFilesCreated() const;
 
   /// Paths of the temporary files. Both embed a per-process, per-instance
   /// token: managers may share a directory (several BufferManagers in one
   /// process, or concurrent test processes on the same temp dir), and the
   /// fixed file is opened with truncate — a shared name would let one
   /// manager destroy another's live spill data.
-  std::string FixedFilePath() const;
-  std::string VariableFilePath(block_id_t id) const;
+  [[nodiscard]] std::string FixedFilePath() const;
+  [[nodiscard]] std::string VariableFilePath(block_id_t id) const;
 
  private:
-  Status EnsureFixedFile();
-  void UpdatePeak();
+  Status EnsureFixedFileLocked() SSAGG_REQUIRES(lock_);
+  void UpdatePeakLocked() SSAGG_REQUIRES(lock_);
   /// Folds one spill write/read into the local accounting and the global
   /// metrics registry.
   void RecordWrite(idx_t bytes, uint64_t ns);
@@ -100,18 +100,24 @@ class TemporaryFileManager {
   FileSystem &fs_;
   std::string token_;  // unique per process + instance, embedded in paths
 
-  mutable std::mutex lock_;
-  std::unique_ptr<FileHandle> fixed_file_;
-  std::vector<idx_t> free_slots_;
-  idx_t slot_count_ = 0;       // high-water slot count of the fixed file
-  idx_t used_slots_ = 0;
-  idx_t variable_bytes_ = 0;   // bytes in per-block variable files
-  std::unordered_map<block_id_t, idx_t> variable_sizes_;
-  idx_t peak_size_ = 0;
-  idx_t write_count_ = 0;
-  idx_t read_count_ = 0;
-  idx_t slot_reuses_ = 0;
-  idx_t variable_files_created_ = 0;
+  /// Protects the slot/file bookkeeping. Held only for bookkeeping, never
+  /// across the actual read/write syscalls: the fixed file's FileHandle is
+  /// positioned (pread/pwrite-style), so I/O proceeds concurrently on a raw
+  /// pointer captured under the lock (the handle is destroyed only in the
+  /// destructor).
+  mutable Mutex lock_;
+  std::unique_ptr<FileHandle> fixed_file_ SSAGG_GUARDED_BY(lock_);
+  std::vector<idx_t> free_slots_ SSAGG_GUARDED_BY(lock_);
+  /// High-water slot count of the fixed file.
+  idx_t slot_count_ SSAGG_GUARDED_BY(lock_) = 0;
+  idx_t used_slots_ SSAGG_GUARDED_BY(lock_) = 0;
+  std::unordered_map<block_id_t, idx_t> variable_sizes_
+      SSAGG_GUARDED_BY(lock_);
+  idx_t peak_size_ SSAGG_GUARDED_BY(lock_) = 0;
+  idx_t write_count_ SSAGG_GUARDED_BY(lock_) = 0;
+  idx_t read_count_ SSAGG_GUARDED_BY(lock_) = 0;
+  idx_t slot_reuses_ SSAGG_GUARDED_BY(lock_) = 0;
+  idx_t variable_files_created_ SSAGG_GUARDED_BY(lock_) = 0;
   std::atomic<idx_t> bytes_written_{0};
   std::atomic<idx_t> bytes_read_{0};
   std::atomic<idx_t> write_ns_{0};

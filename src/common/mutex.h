@@ -1,0 +1,241 @@
+#ifndef SSAGG_COMMON_MUTEX_H_
+#define SSAGG_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+/// Thread-safety annotations + annotated synchronization primitives.
+///
+/// Every mutex in the tree is an ssagg::Mutex / ssagg::SharedMutex, and every
+/// field a mutex protects is marked SSAGG_GUARDED_BY(that_mutex), so Clang's
+/// capability analysis (-Wthread-safety, enabled by the
+/// SSAGG_THREAD_SAFETY_ANALYSIS CMake option) turns locking-discipline
+/// violations into compile errors. Under compilers without the analysis
+/// (GCC) the attributes expand to nothing and the wrappers are plain
+/// std::mutex / std::shared_mutex / std::condition_variable_any.
+///
+/// Discipline (enforced by scripts/lint.sh):
+///   - no raw std::mutex / std::lock_guard / std::unique_lock outside this
+///     header — use Mutex + ScopedLock (or SharedMutex + Shared/Exclusive
+///     scoped locks);
+///   - private helpers that a caller must invoke with a lock held are named
+///     *Locked() and annotated SSAGG_REQUIRES(lock_);
+///   - SSAGG_NO_THREAD_SAFETY_ANALYSIS is only allowed with an adjacent
+///     "// SAFETY:" comment justifying why the analysis cannot see the
+///     invariant (e.g. exclusive access in a destructor).
+///
+/// The lock hierarchy (which mutex may be held while acquiring which) is
+/// documented in DESIGN.md section 9.
+
+#if defined(__clang__)
+#define SSAGG_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define SSAGG_THREAD_ANNOTATION__(x)
+#endif
+
+/// Declares a type to be a capability ("mutex") the analysis tracks.
+#define SSAGG_CAPABILITY(x) SSAGG_THREAD_ANNOTATION__(capability(x))
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define SSAGG_SCOPED_CAPABILITY SSAGG_THREAD_ANNOTATION__(scoped_lockable)
+
+/// The annotated field may only be accessed while `x` is held.
+#define SSAGG_GUARDED_BY(x) SSAGG_THREAD_ANNOTATION__(guarded_by(x))
+/// The pointee of the annotated pointer may only be accessed while `x` is
+/// held (the pointer itself is not protected).
+#define SSAGG_PT_GUARDED_BY(x) SSAGG_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// The caller must hold the listed capabilities (exclusively) on entry; the
+/// function does not release them.
+#define SSAGG_REQUIRES(...) \
+  SSAGG_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define SSAGG_REQUIRES_SHARED(...) \
+  SSAGG_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires / releases the listed capabilities.
+#define SSAGG_ACQUIRE(...) \
+  SSAGG_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define SSAGG_ACQUIRE_SHARED(...) \
+  SSAGG_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+#define SSAGG_RELEASE(...) \
+  SSAGG_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define SSAGG_RELEASE_SHARED(...) \
+  SSAGG_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#define SSAGG_TRY_ACQUIRE(...) \
+  SSAGG_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define SSAGG_TRY_ACQUIRE_SHARED(...) \
+  SSAGG_THREAD_ANNOTATION__(try_acquire_shared_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the listed capabilities (deadlock prevention for
+/// non-reentrant locks).
+#define SSAGG_EXCLUDES(...) SSAGG_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+/// Lock-ordering declarations.
+#define SSAGG_ACQUIRED_BEFORE(...) \
+  SSAGG_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define SSAGG_ACQUIRED_AFTER(...) \
+  SSAGG_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (trusted by the analysis).
+#define SSAGG_ASSERT_CAPABILITY(x) \
+  SSAGG_THREAD_ANNOTATION__(assert_capability(x))
+/// The function returns a reference to the given capability.
+#define SSAGG_RETURN_CAPABILITY(x) SSAGG_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch: the function is not analyzed. Every use MUST carry an
+/// adjacent "// SAFETY:" comment explaining the invariant the analysis
+/// cannot see; scripts/lint.sh rejects bare uses.
+#define SSAGG_NO_THREAD_SAFETY_ANALYSIS \
+  SSAGG_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace ssagg {
+
+/// Annotated drop-in replacement for std::mutex. Also satisfies the standard
+/// BasicLockable / Lockable named requirements, so it works with CondVar
+/// (std::condition_variable_any) below.
+class SSAGG_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex &) = delete;
+  Mutex &operator=(const Mutex &) = delete;
+
+  void lock() SSAGG_ACQUIRE() { mu_.lock(); }
+  void unlock() SSAGG_RELEASE() { mu_.unlock(); }
+  bool try_lock() SSAGG_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Annotated drop-in replacement for std::shared_mutex.
+class SSAGG_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex &) = delete;
+  SharedMutex &operator=(const SharedMutex &) = delete;
+
+  void lock() SSAGG_ACQUIRE() { mu_.lock(); }
+  void unlock() SSAGG_RELEASE() { mu_.unlock(); }
+  bool try_lock() SSAGG_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void lock_shared() SSAGG_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() SSAGG_RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool try_lock_shared() SSAGG_TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// Annotated replacement for std::lock_guard / std::unique_lock over a
+/// Mutex. Follows the reference scoped-capability shape from the Clang
+/// thread-safety documentation: plain construction locks, std::adopt_lock
+/// adopts an already-held mutex, std::try_to_lock tries (check owns_lock()).
+class SSAGG_SCOPED_CAPABILITY ScopedLock {
+ public:
+  explicit ScopedLock(Mutex &mu) SSAGG_ACQUIRE(mu) : mu_(mu), owns_(true) {
+    mu_.lock();
+  }
+  /// Adopts a mutex the caller already holds (e.g. after a successful
+  /// bare try_lock()); the destructor releases it.
+  ScopedLock(Mutex &mu, std::adopt_lock_t) SSAGG_REQUIRES(mu)
+      : mu_(mu), owns_(true) {}
+  /// Tries to acquire; check owns_lock() before touching guarded state.
+  ScopedLock(Mutex &mu, std::try_to_lock_t) SSAGG_TRY_ACQUIRE(true, mu)
+      : mu_(mu), owns_(mu.try_lock()) {}
+
+  ~ScopedLock() SSAGG_RELEASE() {
+    if (owns_) {
+      mu_.unlock();
+    }
+  }
+
+  ScopedLock(const ScopedLock &) = delete;
+  ScopedLock &operator=(const ScopedLock &) = delete;
+
+  [[nodiscard]] bool owns_lock() const { return owns_; }
+
+  /// Releases the mutex before the end of the scope (e.g. before a blocking
+  /// call that must not run under the lock).
+  void Unlock() SSAGG_RELEASE() {
+    mu_.unlock();
+    owns_ = false;
+  }
+
+ private:
+  friend class CondVar;
+  Mutex &mu_;
+  bool owns_;
+};
+
+/// Exclusive scoped lock over a SharedMutex (writer side).
+class SSAGG_SCOPED_CAPABILITY ExclusiveLock {
+ public:
+  explicit ExclusiveLock(SharedMutex &mu) SSAGG_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~ExclusiveLock() SSAGG_RELEASE() { mu_.unlock(); }
+
+  ExclusiveLock(const ExclusiveLock &) = delete;
+  ExclusiveLock &operator=(const ExclusiveLock &) = delete;
+
+ private:
+  SharedMutex &mu_;
+};
+
+/// Shared scoped lock over a SharedMutex (reader side).
+class SSAGG_SCOPED_CAPABILITY SharedLock {
+ public:
+  explicit SharedLock(SharedMutex &mu) SSAGG_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~SharedLock() SSAGG_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+  SharedLock(const SharedLock &) = delete;
+  SharedLock &operator=(const SharedLock &) = delete;
+
+ private:
+  SharedMutex &mu_;
+};
+
+/// Annotated condition variable over ssagg::Mutex. Wait takes the Mutex the
+/// caller holds; the analysis sees the capability as continuously held
+/// across the wait (matching how guarded state may be re-checked after
+/// wakeup, under the reacquired lock).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar &) = delete;
+  CondVar &operator=(const CondVar &) = delete;
+
+  void Wait(Mutex &mu) SSAGG_REQUIRES(mu) { cv_.wait(mu); }
+
+  template <typename Predicate>
+  void Wait(Mutex &mu, Predicate stop_waiting) SSAGG_REQUIRES(mu) {
+    cv_.wait(mu, std::move(stop_waiting));
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(Mutex &mu,
+                         const std::chrono::duration<Rep, Period> &timeout)
+      SSAGG_REQUIRES(mu) {
+    return cv_.wait_for(mu, timeout);
+  }
+
+  template <typename Rep, typename Period, typename Predicate>
+  bool WaitFor(Mutex &mu, const std::chrono::duration<Rep, Period> &timeout,
+               Predicate stop_waiting) SSAGG_REQUIRES(mu) {
+    return cv_.wait_for(mu, timeout, std::move(stop_waiting));
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace ssagg
+
+#endif  // SSAGG_COMMON_MUTEX_H_

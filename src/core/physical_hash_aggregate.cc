@@ -101,7 +101,7 @@ Status PhysicalHashAggregate::EarlyCompactLocal(LocalState &local) {
 Status PhysicalHashAggregate::Combine(LocalSinkState &state) {
   auto &local = static_cast<LocalState &>(state);
   local.ht->ClearPointerTable();  // releases the append pins
-  std::lock_guard<std::mutex> guard(lock_);
+  ScopedLock guard(lock_);
   if (!global_data_) {
     global_data_ = std::make_unique<PartitionedTupleData>(
         buffer_manager_, row_layout_.layout, config_.radix_bits);
@@ -117,10 +117,11 @@ Status PhysicalHashAggregate::Combine(LocalSinkState &state) {
   return Status::OK();
 }
 
-Status PhysicalHashAggregate::AggregatePartition(idx_t partition_idx,
+Status PhysicalHashAggregate::AggregatePartition(PartitionedTupleData &data,
+                                                 idx_t partition_idx,
                                                  DataSink &output,
                                                  TaskExecutor &executor) {
-  TupleDataCollection &source = global_data_->partition(partition_idx);
+  TupleDataCollection &source = data.partition(partition_idx);
   if (source.Count() == 0) {
     return Status::OK();
   }
@@ -176,7 +177,7 @@ Status PhysicalHashAggregate::AggregatePartition(idx_t partition_idx,
   }
   SSAGG_RETURN_NOT_OK(output.Combine(*out_local));
   {
-    std::lock_guard<std::mutex> guard(lock_);
+    ScopedLock guard(lock_);
     stats_.unique_groups += groups;
     stats_.ht.Merge(ht->stats());
   }
@@ -185,16 +186,34 @@ Status PhysicalHashAggregate::AggregatePartition(idx_t partition_idx,
 
 Status PhysicalHashAggregate::EmitResults(DataSink &output,
                                           TaskExecutor &executor) {
-  if (!global_data_) {
+  // Resolve the merged partition set once under the lock; the partition
+  // tasks then work on disjoint partitions of it. (EmitResults used to read
+  // global_data_ unlocked in every task.)
+  PartitionedTupleData *data;
+  {
+    ScopedLock guard(lock_);
+    data = global_data_.get();
+  }
+  if (data == nullptr) {
     return Status::OK();  // no input at all
   }
   std::vector<std::function<Status()>> tasks;
-  for (idx_t p = 0; p < global_data_->PartitionCount(); p++) {
-    tasks.push_back([this, p, &output, &executor]() {
-      return AggregatePartition(p, output, executor);
+  for (idx_t p = 0; p < data->PartitionCount(); p++) {
+    tasks.push_back([this, data, p, &output, &executor]() {
+      return AggregatePartition(*data, p, output, executor);
     });
   }
   return executor.RunTasks(tasks);
+}
+
+HashAggregateStats PhysicalHashAggregate::stats() const {
+  ScopedLock guard(lock_);
+  return stats_;
+}
+
+idx_t PhysicalHashAggregate::MaterializedBytes() const {
+  ScopedLock guard(lock_);
+  return global_data_ ? global_data_->SizeInBytes() : 0;
 }
 
 }  // namespace ssagg

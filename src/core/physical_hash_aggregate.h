@@ -2,10 +2,10 @@
 #define SSAGG_CORE_PHYSICAL_HASH_AGGREGATE_H_
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "buffer/buffer_manager.h"
+#include "common/mutex.h"
 #include "core/grouped_aggregate_hash_table.h"
 #include "execution/operator.h"
 #include "execution/task_executor.h"
@@ -90,11 +90,11 @@ class PhysicalHashAggregate : public DataSink {
   /// are destroyed as they are consumed.
   Status EmitResults(DataSink &output, TaskExecutor &executor);
 
-  const HashAggregateStats &stats() const { return stats_; }
+  /// A snapshot taken under the operator lock: safe to call while phase-2
+  /// partition tasks are still merging their counters in.
+  [[nodiscard]] HashAggregateStats stats() const;
   /// Total bytes materialized into partitions (intermediate size).
-  idx_t MaterializedBytes() const {
-    return global_data_ ? global_data_->SizeInBytes() : 0;
-  }
+  [[nodiscard]] idx_t MaterializedBytes() const;
 
  private:
   PhysicalHashAggregate(BufferManager &buffer_manager,
@@ -117,19 +117,24 @@ class PhysicalHashAggregate : public DataSink {
   /// duplicated groups materialized across hash-table resets.
   Status EarlyCompactLocal(LocalState &local);
 
-  Status AggregatePartition(idx_t partition_idx, DataSink &output,
-                            TaskExecutor &executor);
+  /// `data` is the merged global partition set, resolved under the lock by
+  /// EmitResults; partition `partition_idx` is owned by this task from here
+  /// on (partition tasks never touch each other's partitions).
+  Status AggregatePartition(PartitionedTupleData &data, idx_t partition_idx,
+                            DataSink &output, TaskExecutor &executor);
 
   BufferManager &buffer_manager_;
   std::vector<LogicalTypeId> input_types_;
   AggregateRowLayout row_layout_;
   HashAggregateConfig config_;
 
-  std::mutex lock_;
+  mutable Mutex lock_;
   /// All thread-local materialized partitions, merged partition-wise at
-  /// Combine time ("partitions are exchanged between threads").
-  std::unique_ptr<PartitionedTupleData> global_data_;
-  HashAggregateStats stats_;
+  /// Combine time ("partitions are exchanged between threads"). The
+  /// unique_ptr itself is guarded; once EmitResults starts, the pointee's
+  /// partitions are partitioned among tasks (disjoint access).
+  std::unique_ptr<PartitionedTupleData> global_data_ SSAGG_GUARDED_BY(lock_);
+  HashAggregateStats stats_ SSAGG_GUARDED_BY(lock_);
 };
 
 }  // namespace ssagg

@@ -106,7 +106,10 @@ class PhysicalHashJoin::SideSink : public DataSink {
 
   Status Combine(LocalSinkState &state) override {
     auto &local = static_cast<LocalState &>(state);
-    std::lock_guard<std::mutex> guard(lock_);
+    // global_ is a reference to collection state owned by the join operator,
+    // so the capability analysis cannot tie it to lock_; the lock still
+    // serializes every Combine into it (the only concurrent access).
+    ScopedLock guard(lock_);
     global_.Combine(*local.data);
     return Status::OK();
   }
@@ -122,7 +125,7 @@ class PhysicalHashJoin::SideSink : public DataSink {
   const AggregateRowLayout &layout_;
   idx_t radix_bits_;
   PartitionedTupleData &global_;
-  std::mutex lock_;
+  Mutex lock_;
 };
 
 //===----------------------------------------------------------------------===//

@@ -2,11 +2,11 @@
 #define SSAGG_CORE_PHYSICAL_HASH_JOIN_H_
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "buffer/buffer_manager.h"
 #include "common/hash.h"
+#include "common/mutex.h"
 #include "core/aggregate_row_layout.h"
 #include "execution/operator.h"
 #include "execution/task_executor.h"

@@ -148,7 +148,7 @@ Status PhysicalUngroupedAggregate::Sink(DataChunk &chunk,
 
 Status PhysicalUngroupedAggregate::Combine(LocalSinkState &state) {
   auto &local = static_cast<LocalState &>(state);
-  std::lock_guard<std::mutex> guard(lock_);
+  ScopedLock guard(lock_);
   has_input_ = true;
   for (const auto &entry : aggregates_) {
     if (entry.is_string) {
@@ -163,7 +163,7 @@ Status PhysicalUngroupedAggregate::Combine(LocalSinkState &state) {
 }
 
 Status PhysicalUngroupedAggregate::GetResult(DataChunk &out) {
-  std::lock_guard<std::mutex> guard(lock_);
+  ScopedLock guard(lock_);
   for (idx_t a = 0; a < aggregates_.size(); a++) {
     const auto &entry = aggregates_[a];
     Vector &result = out.column(a);

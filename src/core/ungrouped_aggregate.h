@@ -2,11 +2,11 @@
 #define SSAGG_CORE_UNGROUPED_AGGREGATE_H_
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "core/aggregate_function.h"
 #include "execution/operator.h"
 
@@ -70,10 +70,10 @@ class PhysicalUngroupedAggregate : public DataSink {
   idx_t total_state_width_ = 0;
   idx_t string_state_count_ = 0;
 
-  std::mutex lock_;
-  std::vector<data_t> global_states_;
-  std::vector<StringState> global_strings_;
-  bool has_input_ = false;
+  Mutex lock_;
+  std::vector<data_t> global_states_ SSAGG_GUARDED_BY(lock_);
+  std::vector<StringState> global_strings_ SSAGG_GUARDED_BY(lock_);
+  bool has_input_ SSAGG_GUARDED_BY(lock_) = false;
 };
 
 }  // namespace ssagg

@@ -24,7 +24,7 @@ Result<std::unique_ptr<LocalSinkState>> MaterializedCollector::InitLocal() {
 }
 
 Status MaterializedCollector::Sink(DataChunk &chunk, LocalSinkState &) {
-  std::lock_guard<std::mutex> guard(lock_);
+  ScopedLock guard(lock_);
   for (idx_t i = 0; i < chunk.size(); i++) {
     rows_.push_back(BoxRow(chunk, i));
   }
@@ -33,6 +33,16 @@ Status MaterializedCollector::Sink(DataChunk &chunk, LocalSinkState &) {
 
 Status MaterializedCollector::Combine(LocalSinkState &) {
   return Status::OK();
+}
+
+std::vector<std::vector<Value>> MaterializedCollector::rows() const {
+  ScopedLock guard(lock_);
+  return rows_;
+}
+
+idx_t MaterializedCollector::RowCount() const {
+  ScopedLock guard(lock_);
+  return rows_.size();
 }
 
 //===----------------------------------------------------------------------===//
@@ -50,7 +60,7 @@ Status OffsetCollector::Sink(DataChunk &chunk, LocalSinkState &) {
   if (start + chunk.size() <= offset_) {
     return Status::OK();
   }
-  std::lock_guard<std::mutex> guard(lock_);
+  ScopedLock guard(lock_);
   for (idx_t i = 0; i < chunk.size(); i++) {
     if (start + i >= offset_) {
       kept_.push_back(BoxRow(chunk, i));
@@ -60,6 +70,11 @@ Status OffsetCollector::Sink(DataChunk &chunk, LocalSinkState &) {
 }
 
 Status OffsetCollector::Combine(LocalSinkState &) { return Status::OK(); }
+
+std::vector<std::vector<Value>> OffsetCollector::kept_rows() const {
+  ScopedLock guard(lock_);
+  return kept_;
+}
 
 //===----------------------------------------------------------------------===//
 // CountingCollector
@@ -77,13 +92,13 @@ Status CountingCollector::Sink(DataChunk &chunk, LocalSinkState &) {
 Status CountingCollector::Combine(LocalSinkState &) { return Status::OK(); }
 
 Status MaterializedCollector::Reset() {
-  std::lock_guard<std::mutex> guard(lock_);
+  ScopedLock guard(lock_);
   rows_.clear();
   return Status::OK();
 }
 
 Status OffsetCollector::Reset() {
-  std::lock_guard<std::mutex> guard(lock_);
+  ScopedLock guard(lock_);
   total_.store(0, std::memory_order_relaxed);
   kept_.clear();
   return Status::OK();

@@ -2,9 +2,9 @@
 #define SSAGG_EXECUTION_COLLECTORS_H_
 
 #include <atomic>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/value.h"
 #include "execution/operator.h"
 
@@ -19,13 +19,16 @@ class MaterializedCollector : public DataSink {
   Status Combine(LocalSinkState &state) override;
   Status Reset() override;
 
-  /// Rows in unspecified order (parallel sinks).
-  const std::vector<std::vector<Value>> &rows() const { return rows_; }
-  idx_t RowCount() const { return rows_.size(); }
+  /// Rows in unspecified order (parallel sinks). Returns a copy taken under
+  /// the lock; this collector is for small result sets, so readers binding
+  /// `const auto &rows = collector.rows()` keep the copy alive via lifetime
+  /// extension.
+  [[nodiscard]] std::vector<std::vector<Value>> rows() const;
+  [[nodiscard]] idx_t RowCount() const;
 
  private:
-  std::mutex lock_;
-  std::vector<std::vector<Value>> rows_;
+  mutable Mutex lock_;
+  std::vector<std::vector<Value>> rows_ SSAGG_GUARDED_BY(lock_);
 };
 
 /// Implements the paper's benchmark query shape: `... OFFSET N - 1` — the
@@ -44,13 +47,15 @@ class OffsetCollector : public DataSink {
   Status Reset() override;
 
   idx_t TotalRows() const { return total_.load(std::memory_order_relaxed); }
-  const std::vector<std::vector<Value>> &kept_rows() const { return kept_; }
+  /// Rows past the offset, copied under the lock (at most a handful by
+  /// construction of the benchmark query).
+  [[nodiscard]] std::vector<std::vector<Value>> kept_rows() const;
 
  private:
   idx_t offset_;
   std::atomic<idx_t> total_{0};
-  std::mutex lock_;
-  std::vector<std::vector<Value>> kept_;
+  mutable Mutex lock_;
+  std::vector<std::vector<Value>> kept_ SSAGG_GUARDED_BY(lock_);
 };
 
 /// Counts rows and accumulates a cheap checksum; used by benchmarks to

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <thread>
 
 #include "observe/metrics.h"
@@ -19,7 +18,7 @@ class ErrorCollector {
     if (status.ok()) {
       return;
     }
-    std::lock_guard<std::mutex> guard(lock_);
+    ScopedLock guard(lock_);
     if (first_error_.ok()) {
       first_error_ = std::move(status);
     }
@@ -27,13 +26,13 @@ class ErrorCollector {
   }
   bool Failed() const { return failed_.load(std::memory_order_relaxed); }
   Status Take() {
-    std::lock_guard<std::mutex> guard(lock_);
+    ScopedLock guard(lock_);
     return first_error_;
   }
 
  private:
-  std::mutex lock_;
-  Status first_error_;
+  Mutex lock_;
+  Status first_error_ SSAGG_GUARDED_BY(lock_);
   std::atomic<bool> failed_{false};
 };
 
@@ -82,9 +81,19 @@ Status TaskExecutor::CheckDeadline() const {
   return Status::OK();
 }
 
+ExecutorStats TaskExecutor::stats() const {
+  ScopedLock guard(stats_lock_);
+  return stats_;
+}
+
+void TaskExecutor::ResetStats() {
+  ScopedLock guard(stats_lock_);
+  stats_ = ExecutorStats{};
+}
+
 void TaskExecutor::AccumulateWorker(const ExecutorStats &local) {
   {
-    std::lock_guard<std::mutex> guard(stats_lock_);
+    ScopedLock guard(stats_lock_);
     stats_.Merge(local);
   }
   MetricsRegistry &registry = MetricsRegistry::Global();

@@ -3,9 +3,9 @@
 
 #include <chrono>
 #include <functional>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "execution/operator.h"
 
@@ -37,7 +37,7 @@ class TaskExecutor {
  public:
   explicit TaskExecutor(idx_t num_threads);
 
-  idx_t num_threads() const { return num_threads_; }
+  [[nodiscard]] idx_t num_threads() const { return num_threads_; }
 
   /// Arms a wall-clock deadline (the benchmark harness' query timeout).
   /// Pipelines abort with Status::Timeout once it passes; long-running
@@ -55,9 +55,11 @@ class TaskExecutor {
   Status RunTasks(const std::vector<std::function<Status()>> &tasks);
 
   /// Counters accumulated since construction (or the last ResetStats).
-  /// Do not call while a run is in flight.
-  const ExecutorStats &stats() const { return stats_; }
-  void ResetStats() { stats_ = ExecutorStats{}; }
+  /// Returns a copy taken under the stats lock, so it is safe to call while
+  /// a run is in flight (you get a consistent snapshot of the workers that
+  /// finished so far).
+  [[nodiscard]] ExecutorStats stats() const;
+  void ResetStats();
 
  private:
   /// Folds one worker's local counters into stats_ and the global metrics
@@ -68,8 +70,8 @@ class TaskExecutor {
   bool has_deadline_ = false;
   std::chrono::steady_clock::time_point deadline_{};
 
-  std::mutex stats_lock_;
-  ExecutorStats stats_;
+  mutable Mutex stats_lock_;
+  ExecutorStats stats_ SSAGG_GUARDED_BY(stats_lock_);
 
   // Cached global-registry key ids ("exec.*").
   idx_t key_chunks_;

@@ -4,7 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace ssagg {
 
@@ -60,14 +61,14 @@ void LogMessage(LogLevel level, const char *format, ...) {
     return;
   }
   static const auto epoch = std::chrono::steady_clock::now();
-  static std::mutex log_lock;
+  static Mutex log_lock;
   double seconds = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - epoch)
                        .count();
   std::va_list args;
   va_start(args, format);
   {
-    std::lock_guard<std::mutex> guard(log_lock);
+    ScopedLock guard(log_lock);
     std::fprintf(stderr, "[ssagg] %c %8.3fs ", LevelTag(level), seconds);
     std::vfprintf(stderr, format, args);
     std::fputc('\n', stderr);

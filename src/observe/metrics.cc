@@ -19,7 +19,7 @@ MetricsRegistry &MetricsRegistry::Global() {
 }
 
 idx_t MetricsRegistry::KeyId(const std::string &key) {
-  std::lock_guard<std::mutex> guard(lock_);
+  ScopedLock guard(lock_);
   auto it = key_ids_.find(key);
   if (it != key_ids_.end()) {
     return it->second;
@@ -48,7 +48,7 @@ MetricsRegistry::Shard &MetricsRegistry::LocalShard() {
     auto shard = std::make_unique<Shard>();
     Shard *raw = shard.get();
     {
-      std::lock_guard<std::mutex> guard(lock_);
+      ScopedLock guard(lock_);
       shards_.push_back(std::move(shard));
     }
     it = shard_by_registry.emplace(registry_id_, raw).first;
@@ -58,7 +58,7 @@ MetricsRegistry::Shard &MetricsRegistry::LocalShard() {
 }
 
 uint64_t MetricsRegistry::Value(const std::string &key) const {
-  std::lock_guard<std::mutex> guard(lock_);
+  ScopedLock guard(lock_);
   auto it = key_ids_.find(key);
   if (it == key_ids_.end()) {
     return 0;
@@ -71,7 +71,7 @@ uint64_t MetricsRegistry::Value(const std::string &key) const {
 }
 
 std::map<std::string, uint64_t> MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> guard(lock_);
+  ScopedLock guard(lock_);
   std::map<std::string, uint64_t> result;
   for (idx_t id = 0; id < keys_.size(); id++) {
     uint64_t sum = 0;
@@ -84,7 +84,7 @@ std::map<std::string, uint64_t> MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> guard(lock_);
+  ScopedLock guard(lock_);
   for (const auto &shard : shards_) {
     for (idx_t id = 0; id < keys_.size(); id++) {
       shard->values[id].store(0, std::memory_order_relaxed);
@@ -93,7 +93,7 @@ void MetricsRegistry::Reset() {
 }
 
 idx_t MetricsRegistry::KeyCount() const {
-  std::lock_guard<std::mutex> guard(lock_);
+  ScopedLock guard(lock_);
   return keys_.size();
 }
 

@@ -5,12 +5,12 @@
 #include <chrono>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/constants.h"
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace ssagg {
@@ -48,7 +48,7 @@ class MetricsRegistry {
 
   /// Resolves a key to its dense id, creating it on first use. Takes the
   /// registry lock; call once and cache the id near hot paths.
-  idx_t KeyId(const std::string &key);
+  [[nodiscard]] idx_t KeyId(const std::string &key);
 
   /// Lock-free: bumps the calling thread's shard slot.
   void Add(idx_t key_id, uint64_t delta) {
@@ -59,18 +59,18 @@ class MetricsRegistry {
   void Add(const std::string &key, uint64_t delta) { Add(KeyId(key), delta); }
 
   /// Sum of one key across all shards.
-  uint64_t Value(const std::string &key) const;
+  [[nodiscard]] uint64_t Value(const std::string &key) const;
 
   /// All keys summed across shards. Keys that were registered but never
   /// incremented report 0.
-  std::map<std::string, uint64_t> Snapshot() const;
+  [[nodiscard]] std::map<std::string, uint64_t> Snapshot() const;
 
   /// Zeroes every slot of every shard (keys stay registered). Counts from
   /// concurrent writers may land before or after the reset, as usual for
   /// monotonic counters.
   void Reset();
 
-  idx_t KeyCount() const;
+  [[nodiscard]] idx_t KeyCount() const;
 
  private:
   struct Shard {
@@ -89,10 +89,16 @@ class MetricsRegistry {
   /// instead of aliasing a new instance.
   const uint64_t registry_id_;
 
-  mutable std::mutex lock_;
-  std::vector<std::string> keys_;                    // id -> key
-  std::unordered_map<std::string, idx_t> key_ids_;   // key -> id
-  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Protects key registration and the shard list. The hot path (Add) is
+  /// annotation-exempt by construction: it touches only the calling
+  /// thread's shard through relaxed atomics (see DESIGN.md section 9), and
+  /// a Shard pointer, once published in shards_, is stable until the
+  /// registry dies.
+  mutable Mutex lock_;
+  std::vector<std::string> keys_ SSAGG_GUARDED_BY(lock_);   // id -> key
+  std::unordered_map<std::string, idx_t> key_ids_
+      SSAGG_GUARDED_BY(lock_);                              // key -> id
+  std::vector<std::unique_ptr<Shard>> shards_ SSAGG_GUARDED_BY(lock_);
 };
 
 /// Adds the elapsed wall-clock nanoseconds to a registry counter when it

@@ -25,7 +25,7 @@ TraceRecorder &TraceRecorder::Global() {
 }
 
 void TraceRecorder::Enable(std::string path) {
-  std::lock_guard<std::mutex> guard(lock_);
+  ScopedLock guard(lock_);
   path_ = std::move(path);
   enabled_.store(true, std::memory_order_relaxed);
 }
@@ -44,14 +44,14 @@ uint64_t TraceRecorder::NowMicros() const {
 uint32_t TraceRecorder::CurrentTid() {
   thread_local uint32_t tid = 0;
   if (tid == 0) {
-    std::lock_guard<std::mutex> guard(lock_);
+    ScopedLock guard(lock_);
     tid = next_tid_++;
   }
   return tid;
 }
 
 void TraceRecorder::Push(Event event) {
-  std::lock_guard<std::mutex> guard(lock_);
+  ScopedLock guard(lock_);
   events_.push_back(event);
 }
 
@@ -80,7 +80,7 @@ void TraceRecorder::EmitCounter(const char *name, uint64_t value) {
 
 Json TraceRecorder::ToJson() const {
   Json events = Json::Array();
-  std::lock_guard<std::mutex> guard(lock_);
+  ScopedLock guard(lock_);
   for (const Event &event : events_) {
     Json e = Json::Object();
     e.Set("name", event.name);
@@ -111,7 +111,7 @@ Json TraceRecorder::ToJson() const {
 Status TraceRecorder::Flush() const {
   std::string path;
   {
-    std::lock_guard<std::mutex> guard(lock_);
+    ScopedLock guard(lock_);
     path = path_;
   }
   if (path.empty()) {
@@ -131,12 +131,12 @@ Status TraceRecorder::Flush() const {
 }
 
 void TraceRecorder::Clear() {
-  std::lock_guard<std::mutex> guard(lock_);
+  ScopedLock guard(lock_);
   events_.clear();
 }
 
 idx_t TraceRecorder::EventCount() const {
-  std::lock_guard<std::mutex> guard(lock_);
+  ScopedLock guard(lock_);
   return events_.size();
 }
 

@@ -3,11 +3,11 @@
 
 #include <atomic>
 #include <chrono>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/constants.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "observe/json.h"
 
@@ -40,10 +40,10 @@ class TraceRecorder {
   /// buffer only, fetch with ToJson — used by tests).
   void Enable(std::string path);
   void Disable();
-  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   /// Microseconds since the recorder was constructed.
-  uint64_t NowMicros() const;
+  [[nodiscard]] uint64_t NowMicros() const;
 
   /// Complete event (ph "X"): a span of `dur_us` starting at `ts_us` on the
   /// calling thread's track. `arg` lands in the event's args as "v" when
@@ -57,12 +57,12 @@ class TraceRecorder {
   void EmitCounter(const char *name, uint64_t value);
 
   /// The buffered events as a Chrome-trace JSON document.
-  Json ToJson() const;
+  [[nodiscard]] Json ToJson() const;
   /// Writes the buffered events to `path` (from Enable). No-op when
   /// recording to a buffer only.
   Status Flush() const;
   void Clear();
-  idx_t EventCount() const;
+  [[nodiscard]] idx_t EventCount() const;
 
  private:
   struct Event {
@@ -80,10 +80,10 @@ class TraceRecorder {
 
   std::atomic<bool> enabled_{false};
   std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex lock_;
-  std::string path_;
-  std::vector<Event> events_;
-  uint32_t next_tid_ = 1;
+  mutable Mutex lock_;
+  std::string path_ SSAGG_GUARDED_BY(lock_);
+  std::vector<Event> events_ SSAGG_GUARDED_BY(lock_);
+  uint32_t next_tid_ SSAGG_GUARDED_BY(lock_) = 1;
 };
 
 /// RAII span: records a complete event over its lifetime when the global

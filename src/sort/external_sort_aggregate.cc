@@ -103,11 +103,16 @@ Result<std::unique_ptr<ExternalSortAggregate>> ExternalSortAggregate::Create(
 ExternalSortAggregate::~ExternalSortAggregate() { RemoveRunFiles(); }
 
 void ExternalSortAggregate::RemoveRunFiles() {
-  std::lock_guard<std::mutex> guard(lock_);
+  ScopedLock guard(lock_);
   for (const auto &run : runs_) {
     (void)buffer_manager_.fs().RemoveFile(run.path);
   }
   runs_.clear();
+}
+
+idx_t ExternalSortAggregate::RunCount() const {
+  ScopedLock guard(lock_);
+  return runs_.size();
 }
 
 std::vector<LogicalTypeId> ExternalSortAggregate::OutputTypes() const {
@@ -210,7 +215,7 @@ Status ExternalSortAggregate::SortAndSpill(LocalState &local) {
     registry.Add(registry.KeyId("sort.run_bytes"), writer.BytesWritten());
   }
   {
-    std::lock_guard<std::mutex> guard(lock_);
+    ScopedLock guard(lock_);
     runs_.push_back(RunInfo{path, writer.RowCount()});
   }
   local.Clear();
@@ -226,11 +231,19 @@ Status ExternalSortAggregate::Combine(LocalSinkState &state) {
 
 Status ExternalSortAggregate::EmitResults(DataSink &output,
                                           TaskExecutor &executor) {
-  if (runs_.empty()) {
+  // Snapshot the registered runs under the lock; the merge phase itself is
+  // single-threaded and no Sink can race with it, but the snapshot keeps
+  // the locking discipline uniform (and the capability analysis satisfied).
+  std::vector<RunInfo> runs;
+  {
+    ScopedLock guard(lock_);
+    runs = runs_;
+  }
+  if (runs.empty()) {
     return Status::OK();
   }
-  TraceSpan span("sort.merge", "sort", runs_.size());
-  merge_fan_in_ = runs_.size();
+  TraceSpan span("sort.merge", "sort", runs.size());
+  merge_fan_in_ = runs.size();
   struct MergeSource {
     std::unique_ptr<RunReader> reader;
     std::vector<data_ptr_t> rows;
@@ -238,7 +251,7 @@ Status ExternalSortAggregate::EmitResults(DataSink &output,
     idx_t pos = 0;
   };
   // Account the merge working set (per-run I/O buffer + batch arena).
-  idx_t merge_bytes = runs_.size() * (2ULL << 20);
+  idx_t merge_bytes = runs.size() * (2ULL << 20);
   Status reserve = buffer_manager_.ReserveExternalMemory(merge_bytes);
   if (!reserve.ok()) {
     return Status::Aborted(
@@ -246,7 +259,7 @@ Status ExternalSortAggregate::EmitResults(DataSink &output,
         reserve.message());
   }
 
-  std::vector<MergeSource> sources(runs_.size());
+  std::vector<MergeSource> sources(runs.size());
   auto cleanup = [&]() {
     buffer_manager_.FreeExternalMemory(merge_bytes);
   };
@@ -259,9 +272,9 @@ Status ExternalSortAggregate::EmitResults(DataSink &output,
     return Status::OK();
   };
   Status status;  // first error; cleanup runs on all paths below
-  for (idx_t i = 0; i < runs_.size() && status.ok(); i++) {
+  for (idx_t i = 0; i < runs.size() && status.ok(); i++) {
     sources[i].reader = std::make_unique<RunReader>(
-        run_layout_, runs_[i].path, runs_[i].rows, buffer_manager_.fs());
+        run_layout_, runs[i].path, runs[i].rows, buffer_manager_.fs());
     sources[i].chunk.Initialize(run_layout_.Types());
     status = sources[i].reader->Open();
     if (status.ok()) {
@@ -450,7 +463,7 @@ Status ExternalSortAggregate::EmitResults(DataSink &output,
     }
   }
   {
-    std::lock_guard<std::mutex> guard(lock_);
+    ScopedLock guard(lock_);
     runs_.clear();
   }
   cleanup();

@@ -3,11 +3,11 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "buffer/buffer_manager.h"
+#include "common/mutex.h"
 #include "core/aggregate_row_layout.h"
 #include "execution/operator.h"
 #include "execution/task_executor.h"
@@ -56,13 +56,13 @@ class ExternalSortAggregate : public DataSink {
   /// Single-threaded, as in classic implementations.
   Status EmitResults(DataSink &output, TaskExecutor &executor);
 
-  idx_t RunCount() const { return runs_.size(); }
-  idx_t RunBytes() const { return run_bytes_.load(); }
+  [[nodiscard]] idx_t RunCount() const;
+  [[nodiscard]] idx_t RunBytes() const { return run_bytes_.load(); }
   /// Number of runs the merge phase streamed together (0 before
   /// EmitResults).
-  idx_t MergeFanIn() const { return merge_fan_in_; }
+  [[nodiscard]] idx_t MergeFanIn() const { return merge_fan_in_; }
   /// Input rows consumed by the merge phase.
-  idx_t MergedRows() const { return merged_rows_; }
+  [[nodiscard]] idx_t MergedRows() const { return merged_rows_; }
 
  private:
   struct RunInfo {
@@ -98,13 +98,15 @@ class ExternalSortAggregate : public DataSink {
   std::vector<AggregateObject> aggregates_;
   idx_t total_state_width_ = 0;
 
-  std::mutex lock_;
-  std::vector<RunInfo> runs_;
+  mutable Mutex lock_;
+  std::vector<RunInfo> runs_ SSAGG_GUARDED_BY(lock_);
   std::atomic<idx_t> next_run_id_{0};
   /// Embedded in run-file names: temp directories are shared across
   /// operator instances and concurrent processes.
   const std::string run_token_ = ProcessUniqueToken();
   std::atomic<idx_t> run_bytes_{0};
+  /// Written only by the single-threaded merge phase (EmitResults), read
+  /// after it returns; not guarded.
   idx_t merge_fan_in_ = 0;
   idx_t merged_rows_ = 0;
 };

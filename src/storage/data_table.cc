@@ -192,7 +192,7 @@ Status DataTable::FinalizeAppend() {
 
 std::shared_ptr<BlockHandle> DataTable::BlockHandleFor(
     BufferManager &buffer_manager, block_id_t block) {
-  std::lock_guard<std::mutex> guard(handles_lock_);
+  ScopedLock guard(handles_lock_);
   auto &pool_handles = handles_[&buffer_manager];
   auto it = pool_handles.find(block);
   if (it == pool_handles.end()) {
@@ -205,7 +205,7 @@ std::shared_ptr<BlockHandle> DataTable::BlockHandleFor(
 }
 
 void DataTable::ReleaseHandleCache(const BufferManager &buffer_manager) {
-  std::lock_guard<std::mutex> guard(handles_lock_);
+  ScopedLock guard(handles_lock_);
   handles_.erase(&buffer_manager);
 }
 

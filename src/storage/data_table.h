@@ -3,11 +3,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "buffer/buffer_manager.h"
 #include "buffer/file_block_manager.h"
+#include "common/mutex.h"
 #include "common/types.h"
 #include "common/vector.h"
 #include "execution/operator.h"
@@ -92,10 +92,13 @@ class DataTable {
   idx_t current_block_offset_ = 0;
   bool finalized_ = false;
 
-  std::mutex handles_lock_;
+  /// Guards only the handle cache: scans of one table from many threads
+  /// register block handles lazily. All other members are written by the
+  /// single-threaded load phase and read-only afterwards.
+  Mutex handles_lock_;
   std::map<const BufferManager *,
            std::map<block_id_t, std::shared_ptr<BlockHandle>>>
-      handles_;
+      handles_ SSAGG_GUARDED_BY(handles_lock_);
 };
 
 }  // namespace ssagg

@@ -29,7 +29,7 @@ const char *FaultSiteName(FaultSite site) {
 }
 
 void FaultInjector::Reset(const Config &config) {
-  std::lock_guard<std::mutex> guard(lock_);
+  ScopedLock guard(lock_);
   config_ = config;
   rng_ = RandomEngine(config.seed);
   armed_ops_ = 0;
@@ -40,7 +40,7 @@ void FaultInjector::Reset(const Config &config) {
 }
 
 Status FaultInjector::Hit(FaultSite site) {
-  std::lock_guard<std::mutex> guard(lock_);
+  ScopedLock guard(lock_);
   site_ops_[static_cast<idx_t>(site)]++;
   if ((config_.site_mask & FaultSiteBit(site)) == 0) {
     return Status::OK();
@@ -68,18 +68,23 @@ Status FaultInjector::Hit(FaultSite site) {
 }
 
 idx_t FaultInjector::ops_seen() const {
-  std::lock_guard<std::mutex> guard(lock_);
+  ScopedLock guard(lock_);
   return armed_ops_;
 }
 
 idx_t FaultInjector::ops_seen(FaultSite site) const {
-  std::lock_guard<std::mutex> guard(lock_);
+  ScopedLock guard(lock_);
   return site_ops_[static_cast<idx_t>(site)];
 }
 
 idx_t FaultInjector::faults_injected() const {
-  std::lock_guard<std::mutex> guard(lock_);
+  ScopedLock guard(lock_);
   return faults_;
+}
+
+FaultInjector::Config FaultInjector::config() const {
+  ScopedLock guard(lock_);
+  return config_;
 }
 
 }  // namespace ssagg

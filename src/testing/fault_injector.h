@@ -1,8 +1,7 @@
 #ifndef SSAGG_TESTING_FAULT_INJECTOR_H_
 #define SSAGG_TESTING_FAULT_INJECTOR_H_
 
-#include <mutex>
-
+#include "common/mutex.h"
 #include "common/random.h"
 #include "common/status.h"
 
@@ -86,19 +85,21 @@ class FaultInjector {
   Status Hit(FaultSite site);
 
   /// Armed operations seen so far (the sequence fail_at indexes into).
-  idx_t ops_seen() const;
+  [[nodiscard]] idx_t ops_seen() const;
   /// Operations seen at one site, armed or not.
-  idx_t ops_seen(FaultSite site) const;
-  idx_t faults_injected() const;
-  const Config &config() const { return config_; }
+  [[nodiscard]] idx_t ops_seen(FaultSite site) const;
+  [[nodiscard]] idx_t faults_injected() const;
+  /// A copy: the live config may be swapped by a concurrent Reset().
+  [[nodiscard]] Config config() const;
 
  private:
-  mutable std::mutex lock_;
-  Config config_;
-  RandomEngine rng_;
-  idx_t armed_ops_ = 0;
-  idx_t site_ops_[static_cast<idx_t>(FaultSite::kSiteCount)] = {};
-  idx_t faults_ = 0;
+  mutable Mutex lock_;
+  Config config_ SSAGG_GUARDED_BY(lock_);
+  RandomEngine rng_ SSAGG_GUARDED_BY(lock_);
+  idx_t armed_ops_ SSAGG_GUARDED_BY(lock_) = 0;
+  idx_t site_ops_[static_cast<idx_t>(FaultSite::kSiteCount)] SSAGG_GUARDED_BY(
+      lock_) = {};
+  idx_t faults_ SSAGG_GUARDED_BY(lock_) = 0;
 };
 
 }  // namespace ssagg
