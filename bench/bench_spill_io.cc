@@ -1,0 +1,231 @@
+// Spill I/O path microbench: the same memory-limited aggregation run under
+// every SSAGG_IO_BACKEND x SSAGG_SPILL_COMPRESSION combination, configured
+// explicitly (BufferManagerOptions) so one process sweeps the whole matrix.
+//
+// Reported per configuration:
+//   - end-to-end query time and the seconds threads spent *blocked* on spill
+//     writes/reads (async backends overlap the transfer, so blocked time
+//     falls even when total bytes do not),
+//   - spill throughput = raw spilled bytes / blocked spill seconds,
+//   - write amplification = bytes physically written / raw spilled bytes
+//     (1.0 uncompressed; < 1 when compression pays).
+//
+// Results land in results/bench_spill_io.json for scripts/bench_report.py.
+//
+// Beyond the shared SSAGG_BENCH_* harness knobs, three extras override the
+// buffer manager's auto-tuned I/O settings for ablations:
+//   SSAGG_BENCH_SPILL_BATCH  eviction writeback depth (0 = auto)
+//   SSAGG_BENCH_PREFETCH     "0" disables spilled-block read-ahead
+//   SSAGG_BENCH_IO_THREADS   worker count of the async backends
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "harness_util.h"
+
+using namespace ssagg;         // NOLINT(build/namespaces)
+using namespace ssagg::bench;  // NOLINT(build/namespaces)
+
+namespace {
+
+struct ConfigResult {
+  std::string name;
+  IoBackendKind requested = IoBackendKind::kSync;
+  IoBackendKind effective = IoBackendKind::kSync;
+  bool compression = false;
+  bool ok = false;
+  std::string error;
+  double seconds = 0;
+  double spill_blocked_seconds = 0;
+  double spill_throughput = 0;  // raw bytes / blocked second
+  double write_amp = 0;         // written bytes / raw bytes
+  idx_t result_rows = 0;
+  BufferManagerSnapshot snapshot;
+
+  Json ToJson() const {
+    Json doc = Json::Object();
+    doc.Set("backend", Json(IoBackendKindName(requested)));
+    doc.Set("effective_backend", Json(IoBackendKindName(effective)));
+    doc.Set("compression", Json(compression));
+    doc.Set("ok", Json(ok));
+    if (!ok) {
+      doc.Set("error", Json(error));
+      return doc;
+    }
+    doc.Set("seconds", Json(seconds));
+    doc.Set("spill_blocked_seconds", Json(spill_blocked_seconds));
+    doc.Set("spill_throughput_bytes_per_s", Json(spill_throughput));
+    doc.Set("write_amplification", Json(write_amp));
+    doc.Set("result_rows", Json(static_cast<uint64_t>(result_rows)));
+    doc.Set("snapshot", SnapshotJson(snapshot));
+    return doc;
+  }
+};
+
+ConfigResult RunConfig(const BenchOptions &options, idx_t sf, idx_t limit,
+                       IoBackendKind backend, bool compression) {
+  ConfigResult out;
+  out.requested = backend;
+  out.compression = compression;
+  out.name = std::string(IoBackendKindName(backend)) +
+             (compression ? "+comp" : "");
+
+  BufferManagerOptions bm_options;
+  bm_options.io_backend = backend;
+  bm_options.spill_compression = compression;
+  if (const char *v = std::getenv("SSAGG_BENCH_SPILL_BATCH")) {
+    bm_options.spill_batch = static_cast<idx_t>(std::atoll(v));
+  }
+  if (const char *v = std::getenv("SSAGG_BENCH_PREFETCH")) {
+    bm_options.prefetch = v[0] == '1';
+  }
+  if (const char *v = std::getenv("SSAGG_BENCH_IO_THREADS")) {
+    bm_options.io_threads = static_cast<idx_t>(std::atoll(v));
+  }
+  BufferManager bm(options.temp_dir, limit, bm_options);
+  out.effective = bm.io_backend().kind();
+
+  tpch::LineitemGenerator gen(static_cast<double>(sf));
+  // Grouping 6 (l_partkey), wide: duplicate-heavy structured rows, so the
+  // intermediates dwarf the limit (lots of spilling) yet the pages are
+  // realistic codec fodder rather than incompressible noise.
+  const auto &grouping = tpch::TableIGroupings()[5];
+  auto query = tpch::BuildGroupingQuery(grouping, /*wide=*/true);
+  TaskExecutor executor(options.threads);
+  auto source = gen.MakeSource(query.projection);
+  CountingCollector collector;
+  HashAggregateConfig config;
+  config.phase1_capacity = 1ULL << 14;
+  config.radix_bits = 4;
+
+  auto stats_res = RunGroupedAggregation(bm, *source, query.group_columns,
+                                         query.aggregates, collector,
+                                         executor, config);
+  if (!stats_res.ok()) {
+    out.error = stats_res.status().ToString();
+    return out;
+  }
+  const auto &stats = stats_res.value();
+  out.ok = true;
+  out.seconds = stats.phase1_seconds + stats.phase2_seconds;
+  out.result_rows = collector.TotalRows();
+  out.snapshot = bm.Snapshot();
+
+  const auto &snap = out.snapshot;
+  idx_t raw = snap.spill_raw_bytes ? snap.spill_raw_bytes
+                                   : snap.spill_bytes_written;
+  out.spill_blocked_seconds =
+      snap.spill_write_seconds + snap.spill_read_seconds;
+  if (out.spill_blocked_seconds > 0) {
+    out.spill_throughput =
+        static_cast<double>(raw + snap.spill_bytes_read) /
+        out.spill_blocked_seconds;
+  }
+  if (raw > 0) {
+    out.write_amp = static_cast<double>(snap.spill_bytes_written) /
+                    static_cast<double>(raw);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  BenchOptions options = BenchOptions::FromEnv();
+  idx_t sf = std::min<idx_t>(options.scale_cap, 48);
+  idx_t limit = std::min<idx_t>(options.memory_limit, 64ULL << 20);
+
+  {
+    tpch::LineitemGenerator gen(static_cast<double>(sf));
+    std::printf("Spill I/O sweep: backend x compression on a memory-limited "
+                "aggregation\nwide grouping 6, SF %llu (%llu rows), memory "
+                "limit %s, %llu threads\n\n",
+                static_cast<unsigned long long>(sf),
+                static_cast<unsigned long long>(gen.RowCount()),
+                FormatBytes(limit).c_str(),
+                static_cast<unsigned long long>(options.threads));
+  }
+
+  std::vector<int> widths = {16, 10, 8, 10, 12, 13, 10, 10};
+  PrintRule(widths);
+  PrintRow({"config", "time s", "blk s", "spill MB/s", "written", "raw",
+            "w-amp", "reads"},
+           widths);
+  PrintRule(widths);
+
+  std::vector<ConfigResult> results;
+  for (IoBackendKind backend :
+       {IoBackendKind::kSync, IoBackendKind::kThreadPool,
+        IoBackendKind::kIoUring}) {
+    for (bool compression : {false, true}) {
+      ConfigResult r = RunConfig(options, sf, limit, backend, compression);
+      if (!r.ok) {
+        PrintRow({r.name, "failed: " + r.error}, {16, 60});
+        results.push_back(std::move(r));
+        continue;
+      }
+      const auto &snap = r.snapshot;
+      char time_s[16], blk_s[16], tput[16], amp[16];
+      std::snprintf(time_s, sizeof(time_s), "%.2f", r.seconds);
+      std::snprintf(blk_s, sizeof(blk_s), "%.2f", r.spill_blocked_seconds);
+      std::snprintf(tput, sizeof(tput), "%.0f",
+                    r.spill_throughput / (1 << 20));
+      std::snprintf(amp, sizeof(amp), "%.2fx", r.write_amp);
+      PrintRow({r.name, time_s, blk_s, tput,
+                FormatBytes(snap.spill_bytes_written),
+                FormatBytes(snap.spill_raw_bytes), amp,
+                FormatBytes(snap.spill_bytes_read)},
+               widths);
+      std::fflush(stdout);
+      results.push_back(std::move(r));
+    }
+  }
+  PrintRule(widths);
+
+  // The two headline ratios the sweep exists to measure.
+  const ConfigResult *sync_raw = nullptr, *async_raw = nullptr;
+  const ConfigResult *raw_any = nullptr, *comp_any = nullptr;
+  for (const auto &r : results) {
+    if (!r.ok) continue;
+    if (!r.compression && r.effective == IoBackendKind::kSync) sync_raw = &r;
+    if (!r.compression && r.effective != IoBackendKind::kSync &&
+        (!async_raw || r.spill_throughput > async_raw->spill_throughput)) {
+      async_raw = &r;
+    }
+    if (!r.compression && !raw_any) raw_any = &r;
+    if (r.compression && !comp_any) comp_any = &r;
+  }
+  Json summary = Json::Object();
+  if (sync_raw && async_raw && sync_raw->spill_throughput > 0) {
+    double speedup = async_raw->spill_throughput / sync_raw->spill_throughput;
+    std::printf("\nasync (%s) vs sync spill throughput: %.2fx\n",
+                async_raw->name.c_str(), speedup);
+    summary.Set("async_vs_sync_spill_throughput", Json(speedup));
+  }
+  if (raw_any && comp_any && comp_any->snapshot.spill_bytes_written > 0) {
+    double reduction =
+        static_cast<double>(raw_any->snapshot.spill_bytes_written) /
+        static_cast<double>(comp_any->snapshot.spill_bytes_written);
+    std::printf("compression bytes-written reduction: %.2fx "
+                "(%s -> %s)\n",
+                reduction,
+                FormatBytes(raw_any->snapshot.spill_bytes_written).c_str(),
+                FormatBytes(comp_any->snapshot.spill_bytes_written).c_str());
+    summary.Set("compression_bytes_reduction", Json(reduction));
+  }
+
+  Json payload = Json::Object();
+  payload.Set("scale_factor", Json(static_cast<uint64_t>(sf)));
+  payload.Set("memory_limit", Json(static_cast<uint64_t>(limit)));
+  Json configs = Json::Array();
+  for (const auto &r : results) configs.Push(r.ToJson());
+  payload.Set("configs", std::move(configs));
+  payload.Set("summary", std::move(summary));
+  WriteResultsJson("bench_spill_io", options, std::move(payload));
+
+  bool all_ok = std::all_of(results.begin(), results.end(),
+                            [](const ConfigResult &r) { return r.ok; });
+  return all_ok ? 0 : 2;
+}

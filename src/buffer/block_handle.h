@@ -7,6 +7,7 @@
 #include "buffer/file_buffer.h"
 #include "common/constants.h"
 #include "common/mutex.h"
+#include "common/status.h"
 
 namespace ssagg {
 
@@ -27,7 +28,11 @@ enum class BlockKind : uint8_t {
   kTemporaryVariable,
 };
 
-enum class BlockState : uint8_t { kUnloaded, kLoaded };
+/// kLoading marks a block whose contents are being read back by an
+/// asynchronous prefetch (BufferManager::Prefetch): the buffer is allocated
+/// and owned by the handle but not yet valid. Pin waits on load_cv_; the
+/// eviction scan skips any state but kLoaded.
+enum class BlockState : uint8_t { kUnloaded, kLoading, kLoaded };
 
 /// Shared state of one buffer-managed block. Operators hold
 /// shared_ptr<BlockHandle> and pin it (obtaining a BufferHandle) whenever
@@ -88,6 +93,12 @@ class BlockHandle : public std::enable_shared_from_this<BlockHandle> {
   bool spilled_to_own_file_ SSAGG_GUARDED_BY(lock_) = false;
   /// Set when the contents were dropped (can_destroy) or destroyed.
   bool destroyed_ SSAGG_GUARDED_BY(lock_) = false;
+  /// Signalled when an asynchronous load (state kLoading) finishes.
+  CondVar load_cv_;
+  /// Poison left by a failed asynchronous load: the block kept its spill
+  /// state, and the next Pin returns (and clears) this error — a prefetch
+  /// must never swallow an I/O failure.
+  Status load_error_ SSAGG_GUARDED_BY(lock_);
 };
 
 }  // namespace ssagg

@@ -1,6 +1,9 @@
 #include "buffer/buffer_manager.h"
 
+#include <chrono>
 #include <cstring>
+#include <thread>
+#include <vector>
 
 #include "observe/log.h"
 #include "observe/metrics.h"
@@ -59,13 +62,41 @@ void NonPagedAllocation::Reset() {
 // BufferManager
 //===----------------------------------------------------------------------===//
 
+BufferManagerOptions BufferManagerOptions::FromEnv() {
+  BufferManagerOptions options;
+  options.io_backend = IoBackendKindFromEnv();
+  options.spill_compression = SpillCompressionFromEnv();
+  return options;
+}
+
+namespace {
+BufferManagerOptions WithPolicy(EvictionPolicy policy) {
+  BufferManagerOptions options = BufferManagerOptions::FromEnv();
+  options.policy = policy;
+  return options;
+}
+}  // namespace
+
 BufferManager::BufferManager(std::string temp_directory, idx_t memory_limit,
                              EvictionPolicy policy, FileSystem &fs)
+    : BufferManager(std::move(temp_directory), memory_limit,
+                    WithPolicy(policy), fs) {}
+
+BufferManager::BufferManager(std::string temp_directory, idx_t memory_limit,
+                             BufferManagerOptions options, FileSystem &fs)
     : temp_directory_(std::move(temp_directory)),
       fs_(fs),
       memory_limit_(memory_limit),
-      temp_files_(temp_directory_, fs),
-      policy_(policy) {
+      io_backend_(CreateIoBackend(options.io_backend, options.io_threads)),
+      spill_batch_(options.spill_batch != 0
+                       ? options.spill_batch
+                       : (io_backend_->kind() == IoBackendKind::kSync ? 1
+                                                                      : 16)),
+      prefetch_enabled_(options.prefetch &&
+                        io_backend_->kind() != IoBackendKind::kSync),
+      temp_files_(temp_directory_, fs, io_backend_.get(),
+                  options.spill_compression),
+      policy_(options.policy) {
   MetricsRegistry &registry = MetricsRegistry::Global();
   key_evict_persistent_ = registry.KeyId("bm.evictions_persistent");
   key_evict_temp_spilled_ = registry.KeyId("bm.evictions_temporary_spilled");
@@ -75,7 +106,11 @@ BufferManager::BufferManager(std::string temp_directory, idx_t memory_limit,
   key_oom_rejections_ = registry.KeyId("bm.oom_rejections");
 }
 
-BufferManager::~BufferManager() = default;
+BufferManager::~BufferManager() {
+  // Outstanding prefetch completions hold shared_ptr<BlockHandle> and touch
+  // this manager; none may survive past here.
+  io_backend_->Drain();
+}
 
 idx_t BufferManager::QueueIndexLocked(BlockKind kind) const {
   if (policy_ == EvictionPolicy::kMixed) {
@@ -126,23 +161,100 @@ void BufferManager::DischargeLoaded(BlockKind kind, idx_t size) {
   }
 }
 
-Status BufferManager::SpillBlock(BlockHandle &block) {
-  SSAGG_DASSERT(block.state_ == BlockState::kLoaded);
-  SSAGG_DASSERT(!block.can_destroy_);
-  if (block.kind_ == BlockKind::kTemporaryFixed) {
-    SSAGG_ASSIGN_OR_RETURN(block.temp_slot_,
-                           temp_files_.WriteFixedBlock(*block.buffer_));
-  } else {
-    SSAGG_DASSERT(block.kind_ == BlockKind::kTemporaryVariable);
-    SSAGG_RETURN_NOT_OK(
-        temp_files_.WriteVariableBlock(block.id_, *block.buffer_));
-    block.spilled_to_own_file_ = true;
-  }
-  return Status::OK();
-}
+// SAFETY: this function manages a *set* of manually try-locked block handles
+// (the spill batch) whose locks are held across the batched write and
+// released one by one afterwards — a pattern scoped capabilities cannot
+// express. Lock order is preserved: block locks are only ever try-locked,
+// and queue_lock_ is a leaf acquired below them.
+Result<std::unique_ptr<FileBuffer>>
+// SAFETY: see the rationale above.
+BufferManager::EvictBlocks(idx_t reuse_size) SSAGG_NO_THREAD_SAFETY_ANALYSIS {
+  evictions_in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  struct InFlightGuard {
+    std::atomic<idx_t> &count;
+    ~InFlightGuard() { count.fetch_sub(1, std::memory_order_acq_rel); }
+  } in_flight_guard{evictions_in_flight_};
 
-Result<std::unique_ptr<FileBuffer>> BufferManager::EvictOneBlock(
-    idx_t reuse_size) {
+  // Fixed-size spill candidates whose lock_ this function currently holds.
+  std::vector<std::shared_ptr<BlockHandle>> batch;
+
+  auto enqueue = [this](const std::shared_ptr<BlockHandle> &handle,
+                        uint64_t seq, bool front) {
+    ScopedLock guard(queue_lock_);
+    auto &queue = queues_[QueueIndexLocked(handle->kind())];
+    if (front) {
+      queue.push_front(EvictionEntry{handle->weak_from_this(), seq});
+    } else {
+      queue.push_back(EvictionEntry{handle->weak_from_this(), seq});
+    }
+  };
+
+  // Drops the (locked, spill-complete or free-to-drop) block's buffer,
+  // harvesting the first reuse_size-sized one for the caller.
+  auto finalize = [&](BlockHandle &block, std::unique_ptr<FileBuffer> &result)
+                      // SAFETY: called only while the block's lock_ is held.
+                      SSAGG_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_ptr<FileBuffer> buffer = std::move(block.buffer_);
+    block.state_ = BlockState::kUnloaded;
+    DischargeLoaded(block.kind_, block.size_);
+    if (!result && buffer->size() == reuse_size) {
+      // Hand the buffer to the new allocation; its memory charge transfers.
+      reused_buffers_.fetch_add(1, std::memory_order_relaxed);
+      MetricsRegistry::Global().Add(key_buffer_reuse_, 1);
+      result = std::move(buffer);
+      return;
+    }
+    buffer.reset();
+    memory_used_.fetch_sub(block.size_, std::memory_order_relaxed);
+  };
+
+  // Spills the batch as one overlapped submission. All-or-nothing: if any
+  // member fails, successful members release their slots, every block stays
+  // loaded and is re-enqueued, and the first error propagates.
+  // SAFETY: owns (and releases) the batch members' manually held locks.
+  auto flush = [&]() SSAGG_NO_THREAD_SAFETY_ANALYSIS
+      -> Result<std::unique_ptr<FileBuffer>> {
+    SSAGG_DASSERT(!batch.empty());
+    SSAGG_LOG_DEBUG("spilling batch of %llu temporary pages",
+                    static_cast<unsigned long long>(batch.size()));
+    std::vector<FixedSpillRequest> requests(batch.size());
+    for (idx_t i = 0; i < batch.size(); i++) {
+      requests[i].buffer = batch[i]->buffer_.get();
+    }
+    temp_files_.WriteFixedBlocks(requests.data(), requests.size());
+    Status first_error;
+    for (const auto &request : requests) {
+      if (!request.status.ok()) {
+        first_error = request.status;
+        break;
+      }
+    }
+    if (!first_error.ok()) {
+      for (idx_t i = 0; i < batch.size(); i++) {
+        if (requests[i].status.ok() && requests[i].slot != kInvalidIndex) {
+          temp_files_.FreeFixedSlot(requests[i].slot);
+        }
+        uint64_t seq = batch[i]->eviction_seq_.fetch_add(
+                           1, std::memory_order_relaxed) +
+                       1;
+        batch[i]->lock_.unlock();
+        enqueue(batch[i], seq, /*front=*/false);
+      }
+      batch.clear();
+      return first_error;
+    }
+    std::unique_ptr<FileBuffer> result;
+    for (idx_t i = 0; i < batch.size(); i++) {
+      batch[i]->temp_slot_ = requests[i].slot;
+      evicted_temporary_count_.fetch_add(1, std::memory_order_relaxed);
+      MetricsRegistry::Global().Add(key_evict_temp_spilled_, 1);
+      finalize(*batch[i], result);
+      batch[i]->lock_.unlock();
+    }
+    batch.clear();
+    return result;
+  };
+
   while (true) {
     std::shared_ptr<BlockHandle> candidate;
     uint64_t entry_seq = 0;
@@ -174,6 +286,19 @@ Result<std::unique_ptr<FileBuffer>> BufferManager::EvictOneBlock(
       }
     }
     if (!candidate) {
+      if (!batch.empty()) {
+        // The queues ran dry while gathering a batch; what we have is
+        // enough to satisfy the reservation.
+        return flush();
+      }
+      if (evictions_in_flight_.load(std::memory_order_acquire) > 1) {
+        // Another thread's eviction batch holds every remaining candidate
+        // locked. That is not out-of-memory: its blocks are either about to
+        // free their memory or to be re-enqueued. Back off and let
+        // ReserveMemory retry.
+        std::this_thread::yield();
+        return std::unique_ptr<FileBuffer>(nullptr);
+      }
       oom_rejections_.fetch_add(1, std::memory_order_relaxed);
       MetricsRegistry::Global().Add(key_oom_rejections_, 1);
       TraceRecorder::Global().EmitInstant("oom_rejection", "bm");
@@ -192,14 +317,13 @@ Result<std::unique_ptr<FileBuffer>> BufferManager::EvictOneBlock(
       // recreated on the next unpin if needed.
       continue;
     }
-    ScopedLock block_lock(candidate->lock_, std::adopt_lock);
     if (candidate->eviction_seq_.load(std::memory_order_relaxed) !=
             entry_seq ||
         candidate->readers_.load(std::memory_order_relaxed) != 0 ||
         candidate->state_ != BlockState::kLoaded || candidate->destroyed_) {
+      candidate->lock_.unlock();
       continue;  // stale entry
     }
-    // Found an evictable block.
     BlockKind kind = candidate->kind_;
     idx_t size = candidate->size_;
     if (kind != BlockKind::kPersistent && !candidate->can_destroy_ &&
@@ -207,7 +331,26 @@ Result<std::unique_ptr<FileBuffer>> BufferManager::EvictOneBlock(
       // In-memory-only mode: temporary pages cannot be offloaded. Drop the
       // queue entry and keep looking; with nothing else evictable the
       // reservation fails with OutOfMemory (the engine "aborts").
+      candidate->lock_.unlock();
       continue;
+    }
+    if (kind == BlockKind::kTemporaryFixed && !candidate->can_destroy_) {
+      // Spillable fixed-size page: gather it (lock stays held) and keep
+      // scanning until the batch is full. Depth 1 (the sync default)
+      // reproduces the pre-batching one-write-per-eviction schedule.
+      batch.push_back(std::move(candidate));
+      if (batch.size() >= spill_batch_) {
+        return flush();
+      }
+      continue;
+    }
+    // Free-to-drop or variable-size candidate. If a batch is in progress,
+    // put the candidate back where it came from (the original seq keeps the
+    // entry valid) and satisfy the reservation from the batch instead.
+    if (!batch.empty()) {
+      candidate->lock_.unlock();
+      enqueue(candidate, entry_seq, /*front=*/true);
+      return flush();
     }
     if (kind == BlockKind::kPersistent) {
       // Contents are replicated in the database file: dropping is free.
@@ -218,36 +361,30 @@ Result<std::unique_ptr<FileBuffer>> BufferManager::EvictOneBlock(
       evicted_temporary_count_.fetch_add(1, std::memory_order_relaxed);
       MetricsRegistry::Global().Add(key_evict_temp_destroyed_, 1);
     } else {
+      SSAGG_DASSERT(kind == BlockKind::kTemporaryVariable);
       SSAGG_LOG_DEBUG("spilling temporary block of %llu bytes",
                       static_cast<unsigned long long>(size));
-      Status spill = SpillBlock(*candidate);
+      Status spill =
+          temp_files_.WriteVariableBlock(candidate->id_, *candidate->buffer_);
       if (!spill.ok()) {
         // The block stays loaded and unpinned; re-enqueue it so it remains
         // an eviction candidate for later reservations (its previous queue
         // entry was consumed above). The failed reservation propagates.
-        uint64_t seq =
-            candidate->eviction_seq_.fetch_add(1, std::memory_order_relaxed) +
-            1;
-        ScopedLock guard(queue_lock_);
-        queues_[QueueIndexLocked(candidate->kind_)].push_back(
-            EvictionEntry{candidate->weak_from_this(), seq});
+        uint64_t seq = candidate->eviction_seq_.fetch_add(
+                           1, std::memory_order_relaxed) +
+                       1;
+        candidate->lock_.unlock();
+        enqueue(candidate, seq, /*front=*/false);
         return spill;
       }
+      candidate->spilled_to_own_file_ = true;
       evicted_temporary_count_.fetch_add(1, std::memory_order_relaxed);
       MetricsRegistry::Global().Add(key_evict_temp_spilled_, 1);
     }
-    std::unique_ptr<FileBuffer> buffer = std::move(candidate->buffer_);
-    candidate->state_ = BlockState::kUnloaded;
-    DischargeLoaded(kind, size);
-    if (buffer->size() == reuse_size) {
-      // Hand the buffer to the new allocation; its memory charge transfers.
-      reused_buffers_.fetch_add(1, std::memory_order_relaxed);
-      MetricsRegistry::Global().Add(key_buffer_reuse_, 1);
-      return buffer;
-    }
-    buffer.reset();
-    memory_used_.fetch_sub(size, std::memory_order_relaxed);
-    return std::unique_ptr<FileBuffer>(nullptr);
+    std::unique_ptr<FileBuffer> result;
+    finalize(*candidate, result);
+    candidate->lock_.unlock();
+    return result;
   }
 }
 
@@ -271,7 +408,7 @@ Result<std::unique_ptr<FileBuffer>> BufferManager::ReserveMemory(idx_t size) {
     // memory so usage converges below it.
     bool allow_reuse =
         current <= memory_limit_.load(std::memory_order_relaxed);
-    SSAGG_ASSIGN_OR_RETURN(auto reused, EvictOneBlock(allow_reuse ? size : 0));
+    SSAGG_ASSIGN_OR_RETURN(auto reused, EvictBlocks(allow_reuse ? size : 0));
     if (reused) {
       return reused;  // charge transferred with the buffer
     }
@@ -325,6 +462,31 @@ Result<BufferHandle> BufferManager::Pin(
   if (handle->destroyed_) {
     return Status::Aborted("pin of a destroyed block");
   }
+  if (handle->state_ == BlockState::kLoading) {
+    // An asynchronous prefetch is reading the block in; wait for it to
+    // publish (kLoaded) or fail (kUnloaded + load_error_). The wait is the
+    // query-visible cost of that read, so it counts as blocked-on-spill time.
+    auto wait_start = std::chrono::steady_clock::now();
+    handle->load_cv_.Wait(handle->lock_, [&]() SSAGG_REQUIRES(handle->lock_) {
+      return handle->state_ != BlockState::kLoading;
+    });
+    load_wait_ns_.fetch_add(
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - wait_start)
+                .count()),
+        std::memory_order_relaxed);
+    if (handle->destroyed_) {
+      return Status::Aborted("pin of a destroyed block");
+    }
+  }
+  if (!handle->load_error_.ok()) {
+    // A failed prefetch left its poison: surface the I/O error exactly once
+    // (the block kept its spill state, so a later Pin retries the load).
+    Status error = std::move(handle->load_error_);
+    handle->load_error_ = Status::OK();
+    return error;
+  }
   if (handle->state_ == BlockState::kLoaded) {
     handle->readers_.fetch_add(1, std::memory_order_relaxed);
     pinned_buffers_.fetch_add(1, std::memory_order_relaxed);
@@ -374,6 +536,104 @@ Result<BufferHandle> BufferManager::Pin(
   return BufferHandle(handle, handle->buffer_.get());
 }
 
+bool BufferManager::TryReserveForPrefetch(idx_t size) {
+  // Speculative reservation: spare headroom only — never evict, never
+  // consult the fault injector (a prefetch that cannot get memory is simply
+  // skipped, not an error).
+  while (true) {
+    idx_t current = memory_used_.load(std::memory_order_relaxed);
+    if (current + size > memory_limit_.load(std::memory_order_relaxed)) {
+      return false;
+    }
+    if (memory_used_.compare_exchange_weak(current, current + size,
+                                           std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+}
+
+void BufferManager::Prefetch(const std::shared_ptr<BlockHandle> &handle) {
+  if (!prefetch_enabled_) {
+    return;
+  }
+  if (!handle->lock_.try_lock()) {
+    return;  // contended → it is being pinned or evicted right now anyway
+  }
+  FileBuffer *raw = nullptr;
+  idx_t slot = kInvalidIndex;
+  {
+    ScopedLock lock(handle->lock_, std::adopt_lock);
+    if (handle->destroyed_ || handle->kind_ != BlockKind::kTemporaryFixed ||
+        handle->state_ != BlockState::kUnloaded ||
+        handle->temp_slot_ == kInvalidIndex || !handle->load_error_.ok()) {
+      return;  // not a spilled fixed page (or carrying unsurfaced poison)
+    }
+    if (!TryReserveForPrefetch(handle->size_)) {
+      return;  // memory is tight; the eventual Pin will evict as usual
+    }
+    handle->buffer_ = std::make_unique<FileBuffer>(handle->size_);
+    handle->state_ = BlockState::kLoading;
+    raw = handle->buffer_.get();
+    slot = handle->temp_slot_;
+  }
+  // Submit *outside* the block lock: a sync-completing backend runs
+  // FinishPrefetch inline on this thread, which re-takes the lock.
+  prefetch_issued_.fetch_add(1, std::memory_order_relaxed);
+  temp_files_.SubmitReadFixedBlock(
+      slot, *raw,
+      [this, handle](const Status &status) { FinishPrefetch(handle, status); });
+}
+
+void BufferManager::FinishPrefetch(const std::shared_ptr<BlockHandle> &handle,
+                                   const Status &status) {
+  bool loaded = false;
+  {
+    ScopedLock lock(handle->lock_);
+    SSAGG_DASSERT(handle->state_ == BlockState::kLoading);
+    if (status.ok()) {
+      // The temporary-file manager released the slot with the read.
+      handle->temp_slot_ = kInvalidIndex;
+      if (handle->destroyed_) {
+        // Destroyed mid-flight: drop the freshly loaded contents.
+        handle->buffer_.reset();
+        handle->state_ = BlockState::kUnloaded;
+        memory_used_.fetch_sub(handle->size_, std::memory_order_relaxed);
+      } else {
+        handle->state_ = BlockState::kLoaded;
+        handle->eviction_seq_.fetch_add(1, std::memory_order_relaxed);
+        ChargeLoaded(handle->kind_, handle->size_);
+        loaded = true;
+        // The block is unpinned, so it is immediately an eviction candidate
+        // again (LRU-freshest: it was just read back on purpose).
+        uint64_t seq =
+            handle->eviction_seq_.load(std::memory_order_relaxed);
+        ScopedLock guard(queue_lock_);
+        queues_[QueueIndexLocked(handle->kind_)].push_back(
+            EvictionEntry{handle->weak_from_this(), seq});
+      }
+    } else {
+      // Failed read keeps the slot (spill state stays reclaimable). Poison
+      // the block so the next Pin surfaces the error; if it was destroyed
+      // mid-flight nobody will pin again, so release the slot here.
+      handle->buffer_.reset();
+      handle->state_ = BlockState::kUnloaded;
+      memory_used_.fetch_sub(handle->size_, std::memory_order_relaxed);
+      if (handle->destroyed_) {
+        if (handle->temp_slot_ != kInvalidIndex) {
+          temp_files_.FreeFixedSlot(handle->temp_slot_);
+          handle->temp_slot_ = kInvalidIndex;
+        }
+      } else {
+        handle->load_error_ = status;
+      }
+    }
+  }
+  handle->load_cv_.NotifyAll();
+  if (loaded) {
+    prefetch_completed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 void BufferManager::Unpin(BlockHandle &block) {
   ScopedLock lock(block.lock_);
   int32_t readers = block.readers_.fetch_sub(1, std::memory_order_relaxed) - 1;
@@ -404,6 +664,15 @@ void BufferManager::DestroyBlock(const std::shared_ptr<BlockHandle> &handle) {
   ScopedLock lock(handle->lock_);
   if (handle->destroyed_) {
     return;
+  }
+  if (handle->state_ == BlockState::kLoading) {
+    // Wait out the in-flight prefetch before destroying so the no-leak
+    // invariant (no charge, no slot) holds the moment the owner is gone —
+    // not at some later completion. Rare: only a destroy that races a
+    // prefetch of the same block gets here.
+    handle->load_cv_.Wait(handle->lock_, [&]() SSAGG_REQUIRES(handle->lock_) {
+      return handle->state_ != BlockState::kLoading;
+    });
   }
   handle->destroyed_ = true;
   if (handle->state_ == BlockState::kLoaded) {
@@ -495,8 +764,17 @@ BufferManagerSnapshot BufferManager::Snapshot() const {
   snap.temp_reads = temp_files_.ReadCount();
   snap.spill_bytes_written = temp_files_.BytesWritten();
   snap.spill_bytes_read = temp_files_.BytesRead();
+  snap.spill_raw_bytes = temp_files_.RawBytesWritten();
+  snap.spill_coalesced_writes = temp_files_.CoalescedWrites();
+  snap.spill_coalesced_pages = temp_files_.CoalescedPages();
+  snap.prefetch_issued = prefetch_issued_.load(std::memory_order_relaxed);
+  snap.prefetch_completed =
+      prefetch_completed_.load(std::memory_order_relaxed);
   snap.spill_write_seconds = temp_files_.WriteSeconds();
-  snap.spill_read_seconds = temp_files_.ReadSeconds();
+  snap.spill_read_seconds =
+      temp_files_.ReadSeconds() +
+      static_cast<double>(load_wait_ns_.load(std::memory_order_relaxed)) *
+          1e-9;
   snap.spill_slot_reuses = temp_files_.SlotReuses();
   snap.spill_variable_files = temp_files_.VariableFilesCreated();
   snap.oom_rejections = oom_rejections_.load(std::memory_order_relaxed);

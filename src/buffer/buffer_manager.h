@@ -10,6 +10,7 @@
 #include "buffer/buffer_handle.h"
 #include "buffer/file_block_manager.h"
 #include "buffer/temporary_file_manager.h"
+#include "common/async_io.h"
 #include "common/constants.h"
 #include "common/file_system.h"
 #include "common/mutex.h"
@@ -45,12 +46,23 @@ struct BufferManagerSnapshot {
   idx_t temp_writes = 0;
   idx_t temp_reads = 0;
   // Spill I/O accounting (ground truth: TemporaryFileManager).
+  // spill_bytes_written is physical (post-compression); spill_raw_bytes is
+  // the logical pre-compression volume.
   idx_t spill_bytes_written = 0;
   idx_t spill_bytes_read = 0;
+  idx_t spill_raw_bytes = 0;
+  idx_t spill_coalesced_writes = 0;
+  idx_t spill_coalesced_pages = 0;
+  // Wall-clock seconds query threads were *blocked* on spill I/O: the
+  // submit..wait window of writes, demand reads, and Pin()'s waits for
+  // in-flight prefetch loads. Prefetch latency nobody waited on is excluded.
   double spill_write_seconds = 0;
   double spill_read_seconds = 0;
   idx_t spill_slot_reuses = 0;
   idx_t spill_variable_files = 0;
+  // Asynchronous read-ahead of spilled blocks.
+  idx_t prefetch_issued = 0;
+  idx_t prefetch_completed = 0;
   /// Reservations rejected because nothing more could be evicted.
   idx_t oom_rejections = 0;
   /// Outstanding pins (live BufferHandles) across all blocks. Must be zero
@@ -89,6 +101,32 @@ class NonPagedAllocation {
   idx_t size_ = 0;
 };
 
+/// Construction-time knobs of the buffer manager's spill I/O path.
+struct BufferManagerOptions {
+  EvictionPolicy policy = EvictionPolicy::kMixed;
+  /// Which async backend executes spill I/O. kSync (the default) preserves
+  /// the exact one-write-per-eviction schedule of the pre-async engine.
+  IoBackendKind io_backend = IoBackendKind::kSync;
+  idx_t io_threads = 4;
+  /// Compress spilled pages into codec spill frames.
+  bool spill_compression = false;
+  /// Fixed-size pages spilled per eviction batch (the writeback pipeline
+  /// depth). 0 = auto: 1 for the sync backend (legacy semantics), 16 for
+  /// async backends (deep batches amortize the submit..wait cycle across
+  /// many in-flight transfers). Values > 1 over-evict: a one-page
+  /// reservation may spill up to this many LRU victims in one overlapped
+  /// batch, so the following reservations need no eviction at all.
+  idx_t spill_batch = 0;
+  /// Allow asynchronous read-ahead of spilled blocks (only active with an
+  /// async backend; never evicts, never consults the fault injector for its
+  /// memory reservation).
+  bool prefetch = true;
+
+  /// Defaults with io_backend / spill_compression taken from the
+  /// SSAGG_IO_BACKEND and SSAGG_SPILL_COMPRESSION environment variables.
+  static BufferManagerOptions FromEnv();
+};
+
 /// Unified Memory Management (Section III): one memory pool and one eviction
 /// mechanism for persistent pages, paged fixed-size temporary data, paged
 /// variable-size temporary data, and non-paged temporary allocations.
@@ -99,8 +137,14 @@ class NonPagedAllocation {
 /// allocation.
 class BufferManager {
  public:
+  /// Reads the I/O options from the environment (BufferManagerOptions::
+  /// FromEnv), so SSAGG_IO_BACKEND / SSAGG_SPILL_COMPRESSION apply to every
+  /// engine instance without touching call sites.
   BufferManager(std::string temp_directory, idx_t memory_limit,
                 EvictionPolicy policy = EvictionPolicy::kMixed,
+                FileSystem &fs = FileSystem::Default());
+  BufferManager(std::string temp_directory, idx_t memory_limit,
+                BufferManagerOptions options,
                 FileSystem &fs = FileSystem::Default());
   ~BufferManager();
 
@@ -123,8 +167,18 @@ class BufferManager {
       FileBlockManager &block_manager, block_id_t block_id);
 
   /// Pins the block, loading it from the database file or temporary file if
-  /// it is not resident. May evict other pages to make room.
+  /// it is not resident. May evict other pages to make room. If the block is
+  /// being prefetched (kLoading), waits for the load to finish.
   Result<BufferHandle> Pin(const std::shared_ptr<BlockHandle> &handle);
+
+  /// Best-effort asynchronous read-ahead of a spilled fixed-size temporary
+  /// block: reserves memory from the pool's spare headroom (never evicting
+  /// and never consulting the fault injector — prefetch is speculative),
+  /// submits the read, and publishes the block as kLoaded on completion. A
+  /// failed prefetch poisons the block so the next Pin surfaces the error.
+  /// Silently does nothing when the block is not prefetchable, memory is
+  /// tight, or the backend is synchronous.
+  void Prefetch(const std::shared_ptr<BlockHandle> &handle);
 
   /// Eagerly destroys a block's contents: frees the memory if loaded, or the
   /// temporary-file space if spilled (Section III: "we try to eagerly
@@ -154,6 +208,12 @@ class BufferManager {
   [[nodiscard]] BufferManagerSnapshot Snapshot() const;
   TemporaryFileManager &temp_files() { return temp_files_; }
   const TemporaryFileManager &temp_files() const { return temp_files_; }
+  /// The async backend all spill I/O goes through (sort runs share it so
+  /// their read-ahead rides the same pipeline).
+  AsyncIoBackend &io_backend() const { return *io_backend_; }
+  [[nodiscard]] bool spill_compression() const {
+    return temp_files_.spill_compression();
+  }
   /// The file system this pool (and its temporary files) performs I/O
   /// through; operators spill through the same one so that fault injection
   /// covers every layer.
@@ -166,11 +226,13 @@ class BufferManager {
   }
 
   /// Installs (or clears, with nullptr) a fault injector consulted on every
-  /// memory reservation (FaultSite::kAllocate) and every Pin
-  /// (FaultSite::kPin), so tests can deny the Nth allocation/pin and prove
-  /// the failure unwinds cleanly. Not owned; must outlive its use.
+  /// memory reservation (FaultSite::kAllocate), every Pin (FaultSite::kPin)
+  /// and — via the async backend — every spill I/O submission/completion,
+  /// so tests can deny the Nth operation and prove the failure unwinds
+  /// cleanly. Not owned; must outlive its use.
   void SetFaultInjector(FaultInjector *injector) {
     fault_injector_.store(injector, std::memory_order_release);
+    io_backend_->SetFaultInjector(injector);
   }
 
   /// When disabled, temporary pages are never written to temporary files:
@@ -207,14 +269,22 @@ class BufferManager {
   /// exactly the requested size it is returned for reuse.
   Result<std::unique_ptr<FileBuffer>> ReserveMemory(idx_t size);
 
-  /// Evicts one block; returns its buffer if it can be reused for
-  /// `reuse_size`, nullptr if memory was freed instead, and an error if no
-  /// evictable block exists.
-  Result<std::unique_ptr<FileBuffer>> EvictOneBlock(idx_t reuse_size);
+  /// Like ReserveMemory but speculative: only consumes spare headroom —
+  /// never evicts and never consults the fault injector. Used by Prefetch.
+  bool TryReserveForPrefetch(idx_t size);
 
-  /// Writes a temporary block to storage as part of eviction. Called with
-  /// the block lock held.
-  Status SpillBlock(BlockHandle &block) SSAGG_REQUIRES(block.lock_);
+  /// Evicts at least one block, spilling up to spill_batch_ fixed-size
+  /// temporaries as one overlapped write batch. Returns an evicted buffer
+  /// reusable for `reuse_size` (nullptr if memory was freed instead); an
+  /// error if no evictable block exists or a spill write failed. A failed
+  /// batch rolls back completely: every member block stays loaded, its slot
+  /// is released and it is re-enqueued as an eviction candidate.
+  Result<std::unique_ptr<FileBuffer>> EvictBlocks(idx_t reuse_size);
+
+  /// Publishes the result of an asynchronous prefetch read; runs on the
+  /// backend's completing thread.
+  void FinishPrefetch(const std::shared_ptr<BlockHandle> &handle,
+                      const Status &status);
 
   /// Called by BufferHandle::Reset.
   void Unpin(BlockHandle &block);
@@ -229,6 +299,18 @@ class BufferManager {
   std::atomic<idx_t> memory_limit_;
   std::atomic<bool> spill_temporary_{true};
   std::atomic<FaultInjector *> fault_injector_{nullptr};
+  /// Declared before temp_files_ (which submits against it) so it outlives
+  /// the manager's files; the destructor drains it before members die.
+  std::unique_ptr<AsyncIoBackend> io_backend_;
+  /// Resolved pipeline depth of eviction write batches (>= 1).
+  idx_t spill_batch_;
+  bool prefetch_enabled_;
+  std::atomic<idx_t> prefetch_issued_{0};
+  std::atomic<idx_t> prefetch_completed_{0};
+  /// Nanoseconds Pin() spent waiting for in-flight prefetch loads; folded
+  /// into spill_read_seconds so that number means "time query threads were
+  /// blocked on spill reads" (prefetch completions themselves record 0).
+  std::atomic<uint64_t> load_wait_ns_{0};
   TemporaryFileManager temp_files_;
 
   std::atomic<idx_t> memory_used_{0};
@@ -243,6 +325,11 @@ class BufferManager {
   mutable Mutex queue_lock_;
   EvictionPolicy policy_ SSAGG_GUARDED_BY(queue_lock_);
   std::deque<EvictionEntry> queues_[2] SSAGG_GUARDED_BY(queue_lock_);
+
+  /// Threads currently inside EvictBlocks. A reservation that finds the
+  /// queues empty while another eviction is in flight retries instead of
+  /// reporting OutOfMemory: the other batch holds the candidates locked.
+  std::atomic<idx_t> evictions_in_flight_{0};
 
   std::atomic<idx_t> evicted_persistent_count_{0};
   std::atomic<idx_t> evicted_temporary_count_{0};

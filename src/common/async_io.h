@@ -1,0 +1,157 @@
+#ifndef SSAGG_COMMON_ASYNC_IO_H_
+#define SSAGG_COMMON_ASYNC_IO_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/constants.h"
+#include "common/file_system.h"
+#include "common/mutex.h"
+#include "common/status.h"
+
+namespace ssagg {
+
+class FaultInjector;
+
+/// How spill I/O is executed (paper Section VII: keeping the pipeline busy
+/// while blocks stream to and from storage; cf. TPIE-style background I/O).
+///   kSync:       every Submit executes inline on the calling thread — the
+///                pre-async behaviour, and the semantics tier-1 tests pin.
+///   kThreadPool: Submits enqueue to a small writeback pool; callers overlap
+///                several I/Os and Wait() for the ones they need.
+///   kIoUring:    same contract on Linux io_uring (raw syscalls, no liburing
+///                dependency); falls back to kThreadPool when the kernel
+///                lacks io_uring support.
+enum class IoBackendKind : uint8_t { kSync = 0, kThreadPool, kIoUring };
+
+const char *IoBackendKindName(IoBackendKind kind);
+
+/// Parses "sync" | "threadpool" | "io_uring" (or "uring"); anything else
+/// (including unset) yields the default, kSync: async backends are opt-in so
+/// the engine's eviction schedule stays bit-identical unless asked.
+IoBackendKind IoBackendKindFromEnv(const char *env_var = "SSAGG_IO_BACKEND");
+
+/// Reads SSAGG_SPILL_COMPRESSION ("1"/"on"/"true" enable); default off.
+bool SpillCompressionFromEnv();
+
+/// Completion future of one submitted I/O. Wait() blocks until the
+/// operation finished and returns its Status; both are idempotent.
+class IoCompletion {
+ public:
+  Status Wait() {
+    ScopedLock guard(lock_);
+    cv_.Wait(lock_, [this]() SSAGG_REQUIRES(lock_) { return done_; });
+    return status_;
+  }
+
+  bool done() const {
+    ScopedLock guard(lock_);
+    return done_;
+  }
+
+  void Complete(Status status) {
+    {
+      ScopedLock guard(lock_);
+      SSAGG_DASSERT(!done_);
+      status_ = std::move(status);
+      done_ = true;
+    }
+    cv_.NotifyAll();
+  }
+
+ private:
+  mutable Mutex lock_;
+  CondVar cv_;
+  bool done_ SSAGG_GUARDED_BY(lock_) = false;
+  Status status_ SSAGG_GUARDED_BY(lock_);
+};
+
+using IoCompletionPtr = std::shared_ptr<IoCompletion>;
+
+/// One positional read or write against an open FileHandle. The buffer and
+/// the handle must stay valid until the completion fires; Wait() (or
+/// Drain()) establishes the necessary happens-before edge.
+struct IoRequest {
+  enum class Kind : uint8_t { kRead, kWrite };
+
+  Kind kind = Kind::kWrite;
+  FileHandle *file = nullptr;
+  void *buffer = nullptr;  // const-cast for writes; backends never mutate it
+  idx_t bytes = 0;
+  idx_t offset = 0;
+  /// Optional: runs on the completing thread right before the completion is
+  /// signalled. Must not block on other submitted I/O (deadlock on the
+  /// single reaper) and must not throw. Used by BufferManager prefetch to
+  /// publish a loaded block without a waiter.
+  std::function<void(const Status &)> on_complete;
+  /// Optional: runs on the executing thread immediately before the transfer
+  /// and may rewrite buffer/bytes (e.g. compress a page into a staging area
+  /// it owns). An error completes the request without touching the file.
+  /// This is how codec work rides the I/O executor instead of the submitter:
+  /// async backends overlap compression across their workers.
+  std::function<Status(IoRequest &)> prepare;
+  /// Hints that prepare/on_complete carry real CPU work (a codec pass).
+  /// Backends whose completion path is a shared reaper (io_uring) route such
+  /// requests to worker threads instead, so one slow completion cannot stall
+  /// every other in-flight request.
+  bool cpu_bound = false;
+};
+
+/// Asynchronous I/O executor for the spill path. Thread-safe. All
+/// implementations preserve one contract: Submit never blocks on prior
+/// requests (the sync backend "completes" inline instead), every request's
+/// completion fires exactly once, and Drain() returns only after all
+/// previously submitted requests have completed.
+class AsyncIoBackend {
+ public:
+  virtual ~AsyncIoBackend() = default;
+
+  virtual IoCompletionPtr Submit(IoRequest request) = 0;
+  /// Blocks until every previously submitted request has completed. New
+  /// submissions during Drain are the caller's race to lose.
+  virtual void Drain() = 0;
+  [[nodiscard]] virtual IoBackendKind kind() const = 0;
+
+  /// Requests currently submitted but not yet completed (approximate for
+  /// monitoring; exact when the caller has quiesced).
+  [[nodiscard]] idx_t InFlight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+
+  /// Consulted on every Submit (FaultSite::kAsyncSubmit, failing the request
+  /// before any I/O) and every completion (FaultSite::kAsyncComplete,
+  /// turning a successful I/O into an error after the fact). Not owned.
+  /// Virtual: composed backends (io_uring with its cpu_bound helper pool)
+  /// forward the injector to their inner executors.
+  virtual void SetFaultInjector(FaultInjector *injector) {
+    fault_injector_.store(injector, std::memory_order_release);
+  }
+  [[nodiscard]] FaultInjector *fault_injector() const {
+    return fault_injector_.load(std::memory_order_acquire);
+  }
+
+ protected:
+  /// Fault-site hooks shared by all implementations; return the injected
+  /// error, or OK.
+  Status HitSubmitSite();
+  Status HitCompleteSite();
+  /// Executes the request synchronously on the calling thread (the shared
+  /// slow path: sync backend, and fallbacks inside async backends).
+  static Status Execute(const IoRequest &request);
+
+  std::atomic<idx_t> in_flight_{0};
+  std::atomic<FaultInjector *> fault_injector_{nullptr};
+};
+
+/// Creates a backend of the requested kind. kIoUring probes the kernel at
+/// construction and silently degrades to kThreadPool (and kThreadPool to
+/// kSync if threads cannot start) — callers check kind() when they care.
+std::unique_ptr<AsyncIoBackend> CreateIoBackend(IoBackendKind kind,
+                                                idx_t io_threads = 4);
+
+}  // namespace ssagg
+
+#endif  // SSAGG_COMMON_ASYNC_IO_H_

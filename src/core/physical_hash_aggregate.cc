@@ -137,6 +137,10 @@ Status PhysicalHashAggregate::AggregatePartition(PartitionedTupleData &data,
       auto ht, GroupedAggregateHashTable::Create(buffer_manager_, row_layout_,
                                                  ht_config));
 
+  // Warm the partition's spilled pages while the hash table is set up; the
+  // scan itself prefetches one page ahead from then on.
+  source.PrefetchForScan(4);
+
   // Merge the partition's pre-aggregated rows; pages are destroyed as the
   // scan moves past them.
   DataChunk layout_chunk(row_layout_.layout.Types());

@@ -310,7 +310,10 @@ TEST_F(BufferManagerFaultTest, FailedSpillWriteLeavesNoLeakedSlots) {
   third.reset();
   auto retried = bm.Allocate(kPageSize, &third);
   ASSERT_TRUE(retried.ok()) << retried.status().ToString();
-  EXPECT_EQ(bm.temp_files().UsedSlots(), 1u);
+  // Async backends over-evict (spill_batch > 1 writes both unpinned pages in
+  // one overlapped batch), so at least one but at most two slots are in use.
+  EXPECT_GE(bm.temp_files().UsedSlots(), 1u);
+  EXPECT_LE(bm.temp_files().UsedSlots(), 2u);
   retried.MoveValue().Reset();
   handles.clear();
   third.reset();
@@ -335,7 +338,8 @@ TEST_F(BufferManagerFaultTest, FailedReloadReadKeepsSpillStateReclaimable) {
   auto f = bm.Allocate(kPageSize, &filler);
   ASSERT_TRUE(f.ok());
   f.MoveValue().Reset();
-  ASSERT_EQ(bm.temp_files().UsedSlots(), 1u);
+  // >= because async backends over-evict: the batch may spill both pages.
+  ASSERT_GE(bm.temp_files().UsedSlots(), 1u);
 
   FaultInjector::Config config;
   config.fail_at = 1;
@@ -470,6 +474,8 @@ class FaultSweepTest : public ::testing::Test {
     idx_t stride = std::max<idx_t>(1, total_ops / kMaxPoints);
     idx_t failures = 0;
     for (idx_t k = 1; k <= total_ops; k += stride) {
+      SCOPED_TRACE(std::string(what) + ": fault at operation #" +
+                   std::to_string(k));
       config.fail_at = k;
       injector.Reset(config);
       SweepRun run = RunOnce(dir, injector);
@@ -508,6 +514,14 @@ TEST_F(FaultSweepTest, EveryAllocationFailureDegradesToCleanStatus) {
 
 TEST_F(FaultSweepTest, CombinedIoAndMemorySweep) {
   Sweep(kFaultIoSites | kFaultMemorySites, "all");
+}
+
+// The async spill pipeline's own sites (submit, completion, coalesced
+// writes). Every backend hits submit/complete — the sync backend inline,
+// the async ones from their worker threads — so this sweep is meaningful
+// under every SSAGG_IO_BACKEND setting the suite runs with.
+TEST_F(FaultSweepTest, EveryAsyncIoFailureDegradesToCleanStatus) {
+  Sweep(kFaultAsyncSites, "async");
 }
 
 }  // namespace
