@@ -6,6 +6,12 @@
 // temporary I/O. Early compaction re-aggregates a thread's own partitions
 // when the pool is nearly full, shrinking the intermediates before they
 // spill.
+//
+// The strategy is pinned to radix merge so the off/on/auto rows differ only
+// in the early-aggregation mode, but the planner still samples: each row
+// reports the strategy it WOULD have chosen plus its cardinality estimate,
+// so this ablation doubles as a planner-calibration check (DESIGN.md
+// Section 11).
 
 #include <cstdio>
 
@@ -13,6 +19,22 @@
 
 using namespace ssagg;         // NOLINT(build/namespaces)
 using namespace ssagg::bench;  // NOLINT(build/namespaces)
+
+namespace {
+
+const char *ModeName(EarlyAggMode mode) {
+  switch (mode) {
+    case EarlyAggMode::kOff:
+      return "off";
+    case EarlyAggMode::kOn:
+      return "on";
+    case EarlyAggMode::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+}  // namespace
 
 int main() {
   BenchOptions options = BenchOptions::FromEnv();
@@ -29,13 +51,15 @@ int main() {
               static_cast<unsigned long long>(sf),
               static_cast<unsigned long long>(gen.RowCount()),
               FormatBytes(limit).c_str());
-  std::vector<int> widths = {9, 8, 14, 12, 12, 12, 12};
+  std::vector<int> widths = {9, 8, 14, 12, 12, 12, 12, 10, 12};
   PrintRule(widths);
   PrintRow({"early", "time s", "to phase 2", "compacted", "compactions",
-            "temp peak", "temp write"},
+            "temp peak", "temp write", "advised", "est groups"},
            widths);
   PrintRule(widths);
-  for (bool early : {false, true}) {
+  Json rows = Json::Array();
+  for (EarlyAggMode mode :
+       {EarlyAggMode::kOff, EarlyAggMode::kOn, EarlyAggMode::kAuto}) {
     BufferManager bm(options.temp_dir, limit);
     TaskExecutor executor(options.threads);
     auto source = gen.MakeSource(query.projection);
@@ -43,12 +67,15 @@ int main() {
     HashAggregateConfig config;
     config.phase1_capacity = 1ULL << 14;
     config.radix_bits = 4;
-    config.enable_early_aggregation = early;
+    // Pin the plan so the rows differ only in the early-aggregation mode;
+    // the planner still samples and records what it would have chosen.
+    config.strategy = AggregateStrategy::kRadixMerge;
+    config.early_aggregation = mode;
     auto stats_res = RunGroupedAggregation(bm, *source, query.group_columns,
                                            query.aggregates, collector,
                                            executor, config);
     if (!stats_res.ok()) {
-      std::printf("early=%d failed: %s\n", early,
+      std::printf("early=%s failed: %s\n", ModeName(mode),
                   stats_res.status().ToString().c_str());
       continue;
     }
@@ -57,14 +84,32 @@ int main() {
     char time_s[16];
     std::snprintf(time_s, sizeof(time_s), "%.2f",
                   stats.phase1_seconds + stats.phase2_seconds);
-    PrintRow({early ? "on" : "off", time_s,
+    const char *advised = stats.planner_decided
+                              ? AggregateStrategyName(stats.planner.advised)
+                              : "?";
+    PrintRow({ModeName(mode), time_s,
               std::to_string(stats.materialized_rows),
               std::to_string(stats.early_compacted_rows),
               std::to_string(stats.early_compactions),
               FormatBytes(snap.temp_file_peak),
-              FormatBytes(snap.temp_writes * kPageSize)},
+              FormatBytes(snap.temp_writes * kPageSize), advised,
+              std::to_string(stats.planner.estimated_groups)},
              widths);
     std::fflush(stdout);
+
+    Json row = Json::Object();
+    row.Set("early", ModeName(mode));
+    row.Set("seconds", stats.phase1_seconds + stats.phase2_seconds);
+    row.Set("materialized_rows", stats.materialized_rows);
+    row.Set("early_compacted_rows", stats.early_compacted_rows);
+    row.Set("early_compactions", stats.early_compactions);
+    row.Set("temp_file_peak", snap.temp_file_peak);
+    row.Set("temp_write_bytes", snap.temp_writes * kPageSize);
+    row.Set("advised_strategy", advised);
+    row.Set("estimated_groups", stats.planner.estimated_groups);
+    row.Set("reduction_ratio", stats.planner.reduction_ratio);
+    row.Set("sampling_seconds", stats.sampling_seconds);
+    rows.Push(std::move(row));
   }
   PrintRule(widths);
   std::printf("\n'to phase 2' = rows handed to partition-wise aggregation. "
@@ -73,6 +118,16 @@ int main() {
               "temporary-file high-water mark and phase-2 workload — the "
               "trade the paper's\nfuture-work section proposes; it pays off "
               "when temporary disk space or phase-2\nmemory is the binding "
-              "constraint.\n");
+              "constraint. 'advised' is the strategy the adaptive planner\n"
+              "would have picked had it not been pinned to radix.\n");
+  Json payload = Json::Object();
+  payload.Set("scale_factor", sf);
+  payload.Set("memory_limit", limit);
+  payload.Set("rows", std::move(rows));
+  std::string path =
+      WriteResultsJson("bench_ablation_early_agg", options, std::move(payload));
+  if (!path.empty()) {
+    std::printf("results: %s\n", path.c_str());
+  }
   return 0;
 }

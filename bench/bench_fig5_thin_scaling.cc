@@ -7,6 +7,7 @@
 
 int main() {
   return ssagg::bench::RunScalingFigure(
+      "bench_fig5_thin_scaling",
       "Figure 5: thin-variant scaling of groupings 3, 6, 13 (SF 1..128)",
       /*wide=*/false);
 }

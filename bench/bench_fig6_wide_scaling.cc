@@ -7,6 +7,7 @@
 
 int main() {
   return ssagg::bench::RunScalingFigure(
+      "bench_fig6_wide_scaling",
       "Figure 6: wide-variant scaling of groupings 3, 6, 13 (SF 1..128)",
       /*wide=*/true);
 }

@@ -2,7 +2,9 @@
 #define SSAGG_BENCH_SCALING_FIGURE_H_
 
 #include <cstdio>
-#include <map>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "harness_util.h"
 
@@ -11,8 +13,13 @@ namespace bench {
 
 /// Shared driver for Figures 5 (thin) and 6 (wide): execution time of
 /// groupings 3, 6, and 13 at scale factors 1..128 (log-log in the paper),
-/// one series per system. Failures propagate to larger scale factors.
-inline int RunScalingFigure(const char *title, bool wide) {
+/// one series per system. Failures propagate to larger scale factors: the
+/// paper stops plotting a system after its first abort/timeout, so we skip
+/// (and annotate) the rest of the row instead of burning the time budget.
+/// Writes results/<bench_name>.json with every cell's full QueryResult
+/// (timings, tag, snapshot, per-query profile).
+inline int RunScalingFigure(const char *bench_name, const char *title,
+                            bool wide) {
   BenchOptions options = BenchOptions::FromEnv();
   std::vector<idx_t> scale_factors;
   for (idx_t sf = 1; sf <= options.scale_cap; sf *= 2) {
@@ -27,6 +34,7 @@ inline int RunScalingFigure(const char *title, bool wide) {
               FormatBytes(options.memory_limit).c_str(),
               options.timeout_seconds);
 
+  Json groupings_json = Json::Array();
   for (int gid : grouping_ids) {
     const auto &grouping = tpch::TableIGroupings()[gid - 1];
     std::printf("\nGrouping %d (%s):\n", gid, grouping.Name().c_str());
@@ -39,26 +47,43 @@ inline int RunScalingFigure(const char *title, bool wide) {
     PrintRule(widths);
     PrintRow(header, widths);
     PrintRule(widths);
+    Json systems_json = Json::Object();
     for (auto system : AllSystems()) {
       std::vector<std::string> cells = {SystemName(system)};
+      Json series = Json::Array();
       char failed = 0;
       for (idx_t sf : scale_factors) {
         if (failed) {
           cells.push_back(std::string(1, failed));
+          Json skipped = Json::Object();
+          skipped.Set("sf", sf);
+          skipped.Set("tag", std::string(1, failed));
+          skipped.Set("skipped", true);
+          series.Push(std::move(skipped));
           continue;
         }
         tpch::LineitemGenerator gen(static_cast<double>(sf));
         QueryResult result =
             RunGroupingQuery(system, gen, grouping, wide, options);
         cells.push_back(result.Cell());
+        Json cell = result.ToJson();
+        cell.Set("sf", sf);
+        series.Push(std::move(cell));
         if (!result.ok()) {
           failed = result.tag;
         }
       }
       PrintRow(cells, widths);
       std::fflush(stdout);
+      systems_json.Set(SystemShortName(system), std::move(series));
     }
     PrintRule(widths);
+    Json grouping_json = Json::Object();
+    grouping_json.Set("grouping", gid);
+    grouping_json.Set("name", grouping.Name());
+    grouping_json.Set("wide", wide);
+    grouping_json.Set("systems", std::move(systems_json));
+    groupings_json.Push(std::move(grouping_json));
   }
   std::printf("\nexpected shape (paper Fig. %s): all systems scale linearly "
               "while in memory; past the\nmemory limit the in-memory-only "
@@ -66,7 +91,17 @@ inline int RunScalingFigure(const char *title, bool wide) {
               "eventually fails, while the robust system keeps scaling "
               "near-linearly.\n",
               wide ? "6" : "5");
-  return 0;
+
+  Json sfs = Json::Array();
+  for (idx_t sf : scale_factors) {
+    sfs.Push(sf);
+  }
+  Json payload = Json::Object();
+  payload.Set("scale_factors", std::move(sfs));
+  payload.Set("groupings", std::move(groupings_json));
+  return WriteResultsJson(bench_name, options, std::move(payload)).empty()
+             ? 1
+             : 0;
 }
 
 }  // namespace bench

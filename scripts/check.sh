@@ -25,7 +25,13 @@
 # stay below the raw spill volume, and that the query's result row count is
 # identical across backends.
 #
-# Usage: scripts/check.sh [--asan-only|--plain-only|--tsan-only|--spill-io-only]
+# The plain build also runs a strategy smoke step: two canned queries at
+# the planner's cardinality extremes, asserting the adaptive planner picks
+# central merge for a handful of groups and the radix plan for ~1M groups
+# (DESIGN.md section 11), with its decision visible in the profile JSON.
+#
+# Usage: scripts/check.sh
+#   [--asan-only|--plain-only|--tsan-only|--spill-io-only|--strategy-only]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -122,8 +128,47 @@ EOF
   rm -rf "$work"
 }
 
+strategy_smoke() {
+  local dir="$1"
+  echo "=== strategy smoke (planner picks central at ~4 groups, radix at ~1M) ==="
+  local work
+  work=$(mktemp -d)
+  # Grouping 1 (returnflag/linestatus): 4 groups -> central merge.
+  (cd "$work" && SSAGG_BENCH_THREADS=2 SSAGG_BENCH_TMPDIR="$work/tmp" \
+      "$OLDPWD/$dir/bench/bench_single_query" 4 thin 1 du)
+  mv "$work/results/bench_single_query.json" "$work/low.json"
+  # Grouping 13 (all-unique) at SF 18: ~1.08M groups -> radix merge.
+  (cd "$work" && SSAGG_BENCH_THREADS=2 SSAGG_BENCH_TMPDIR="$work/tmp" \
+      "$OLDPWD/$dir/bench/bench_single_query" 18 thin 13 du)
+  mv "$work/results/bench_single_query.json" "$work/high.json"
+  python3 - "$work" <<'EOF'
+import json, sys
+work = sys.argv[1]
+# AggregateStrategy enum values: 1 central, 2 tree, 3 radix.
+for name, expected, label in (("low", 1, "central"), ("high", 3, "radix")):
+    with open(f"{work}/{name}.json") as f:
+        doc = json.load(f)
+    counters = doc["result"]["profile"]["counters"]
+    chosen = counters.get("agg.chosen_strategy")
+    estimated = counters.get("agg.estimated_groups")
+    assert counters.get("agg.planner_forced") == 0, counters
+    assert chosen == expected, \
+        f"{name}-cardinality query chose strategy {chosen}, wanted {label}: " \
+        f"estimated_groups={estimated}"
+    print(f"strategy smoke ok [{name}]: chose {label}, "
+          f"estimated {estimated} groups")
+EOF
+  rm -rf "$work"
+}
+
 if [[ "$MODE" == "--spill-io-only" ]]; then
   spill_io_smoke build
+  echo "all checks passed"
+  exit 0
+fi
+
+if [[ "$MODE" == "--strategy-only" ]]; then
+  strategy_smoke build
   echo "all checks passed"
   exit 0
 fi
@@ -133,6 +178,7 @@ if [[ "$MODE" != "--asan-only" && "$MODE" != "--tsan-only" ]]; then
   run_build build
   profile_smoke build
   spill_io_smoke build
+  strategy_smoke build
 fi
 
 fault_sweep_smoke() {

@@ -88,6 +88,16 @@ Status GroupedAggregateHashTable::Initialize(AggregateRowLayout row_layout) {
   ht_offsets_.resize(kVectorSize);
   salts_.resize(kVectorSize);
   new_row_ptrs_.resize(kVectorSize);
+
+  // Direct-index pointer cache: only for resizable (merge) tables over a
+  // single non-NULL-layout int64 group key; fixed-size tables reset too
+  // often for cached pointers to pay off.
+  direct_enabled_ = config_.direct_range > 0 && config_.resizable &&
+                    row_layout_.group_count == 1 &&
+                    row_layout_.layout.ColumnType(0) == LogicalTypeId::kInt64;
+  if (direct_enabled_) {
+    direct_ptrs_.assign(config_.direct_range + 1, nullptr);
+  }
   return Status::OK();
 }
 
@@ -243,11 +253,16 @@ Status GroupedAggregateHashTable::FindOrCreateGroupsVectorized(
 
     // Software-prefetch the entries this round will inspect; for a table
     // past cache size this overlaps the dependent loads of the salt scan.
+    // An entry array at or under 64 KiB is cache-resident (the planner's
+    // central/tree tables are sized to land here at low cardinality), so
+    // the pass would be pure issue overhead and is skipped.
     const idx_t *sel = remaining_sel_.data();
-    for (idx_t i = 0; i < remaining; i++) {
-      PrefetchRead(&table[ht_offsets_[sel[i]]]);
+    if (capacity_ * sizeof(uint64_t) > idx_t{64} * 1024) {
+      for (idx_t i = 0; i < remaining; i++) {
+        PrefetchRead(&table[ht_offsets_[sel[i]]]);
+      }
+      stats_.prefetches += remaining;
     }
-    stats_.prefetches += remaining;
 
     // Salt scan: advance each row to its first empty or salt-matching
     // slot. Empty slots are claimed immediately (salt + tag) so duplicate
@@ -325,10 +340,103 @@ Status GroupedAggregateHashTable::FindOrCreateGroupsVectorized(
   return Status::OK();
 }
 
+Status GroupedAggregateHashTable::AddChunkDirect(const DataChunk &input,
+                                                 bool *handled) {
+  const idx_t count = input.size();
+  const Vector &key_vec = input.column(row_layout_.group_columns[0]);
+  const auto *keys = key_vec.Values<int64_t>();
+  const ValidityMask &validity = key_vec.validity();
+  const uint64_t range = config_.direct_range;
+  const auto min = static_cast<uint64_t>(config_.direct_min);
+  // Resolve every row before mutating anything: a single uncached or
+  // out-of-range key (wraparound makes below-min keys land past `range`)
+  // bails the whole chunk out to the generic path, which is then free to
+  // insert and update from scratch.
+  *handled = false;
+  if (validity.AllValid()) {
+    for (idx_t r = 0; r < count; r++) {
+      const uint64_t idx = static_cast<uint64_t>(keys[r]) - min;
+      if (idx >= range || direct_ptrs_[idx] == nullptr) {
+        return Status::OK();
+      }
+      row_ptrs_[r] = direct_ptrs_[idx];
+    }
+  } else {
+    for (idx_t r = 0; r < count; r++) {
+      uint64_t idx = range;  // the NULL-key slot
+      if (validity.RowIsValid(r)) {
+        idx = static_cast<uint64_t>(keys[r]) - min;
+        if (idx >= range) {
+          return Status::OK();
+        }
+      }
+      if (direct_ptrs_[idx] == nullptr) {
+        return Status::OK();
+      }
+      row_ptrs_[r] = direct_ptrs_[idx];
+    }
+  }
+  // Every group already exists: sticky aggregates are first-wins (nothing
+  // to do) and the non-sticky fold below is the same one AddChunk runs.
+  const idx_t aggr_offset = row_layout_.layout.AggregateOffset();
+  for (const auto &agg : row_layout_.aggregates) {
+    if (agg.sticky) {
+      continue;
+    }
+    const idx_t offset = aggr_offset + agg.state_offset;
+    for (idx_t i = 0; i < count; i++) {
+      state_ptrs_[i] = row_ptrs_[i] + offset;
+    }
+    const Vector *arg = agg.request.input_column == kInvalidIndex
+                            ? nullptr
+                            : &input.column(agg.request.input_column);
+    agg.function.update(arg, nullptr, state_ptrs_.data(), count);
+  }
+  stats_.direct_hit_rows += count;
+  *handled = true;
+  return Status::OK();
+}
+
+void GroupedAggregateHashTable::BackfillDirect(const DataChunk &input) {
+  const idx_t count = input.size();
+  const Vector &key_vec = input.column(row_layout_.group_columns[0]);
+  const auto *keys = key_vec.Values<int64_t>();
+  const ValidityMask &validity = key_vec.validity();
+  const uint64_t range = config_.direct_range;
+  const auto min = static_cast<uint64_t>(config_.direct_min);
+  for (idx_t r = 0; r < count; r++) {
+    uint64_t idx = range;
+    if (validity.RowIsValid(r)) {
+      idx = static_cast<uint64_t>(keys[r]) - min;
+      if (idx >= range) {
+        continue;  // outside the cached window; stays on the generic path
+      }
+    }
+    direct_ptrs_[idx] = row_ptrs_[r];
+  }
+}
+
 Status GroupedAggregateHashTable::AddChunk(const DataChunk &input) {
   const idx_t count = input.size();
   if (count == 0) {
     return Status::OK();
+  }
+  if (direct_enabled_) {
+    bool handled = false;
+    SSAGG_RETURN_NOT_OK(AddChunkDirect(input, &handled));
+    if (handled) {
+      direct_fallback_streak_ = 0;
+      return Status::OK();
+    }
+    stats_.direct_fallback_chunks++;
+    // A workload that keeps missing (keys the sample never saw) pays one
+    // wasted cache-resolve pass per chunk; drop the cache once the misses
+    // are clearly not warmup.
+    if (++direct_fallback_streak_ > 64) {
+      direct_enabled_ = false;
+      direct_ptrs_.clear();
+      direct_ptrs_.shrink_to_fit();
+    }
   }
   // Hash the group columns.
   ChunkHash(input, row_layout_.group_columns, hashes_.data());
@@ -393,6 +501,9 @@ Status GroupedAggregateHashTable::AddChunk(const DataChunk &input) {
     }
     done += batch;
   }
+  if (direct_enabled_) {
+    BackfillDirect(input);
+  }
   return Status::OK();
 }
 
@@ -433,6 +544,8 @@ void GroupedAggregateHashTable::Stats::Merge(const Stats &other) {
   prefetches += other.prefetches;
   vectorized_compares += other.vectorized_compares;
   scalar_compares += other.scalar_compares;
+  direct_hit_rows += other.direct_hit_rows;
+  direct_fallback_chunks += other.direct_fallback_chunks;
 }
 
 void GroupedAggregateHashTable::ClearPointerTable() {
@@ -440,6 +553,10 @@ void GroupedAggregateHashTable::ClearPointerTable() {
   std::memset(entries_alloc_.data(), 0, capacity_ * 8);
   count_ = 0;
   stats_.resets++;
+  if (direct_enabled_) {
+    // The cached row pointers die with the pins released below.
+    std::fill(direct_ptrs_.begin(), direct_ptrs_.end(), nullptr);
+  }
   // The tuples stay in place; only their pins are released so the buffer
   // manager may evict the pages.
   data_->ReleaseAppendPins();

@@ -45,6 +45,16 @@ class GroupedAggregateHashTable {
     /// Fill ratio at which phase-1 tables report NeedsReset (and resizable
     /// tables grow). The paper determined 2/3 experimentally.
     double reset_fill_ratio = kHashTableResetFillRatio;
+    /// Perfect-hash fast path (planner-enabled, DESIGN.md section 11): for
+    /// a single int64 group key whose sampled value range is small, a flat
+    /// pointer cache indexed by `key - direct_min` maps straight to the
+    /// group's row, skipping hashing, probing and key matching. Slot
+    /// `direct_range` is reserved for the NULL key. Any uncached or
+    /// out-of-range key sends that whole chunk down the generic path (which
+    /// backfills the cache), so keys the sample never saw stay correct.
+    /// direct_range == 0 disables; only meaningful on resizable tables.
+    int64_t direct_min = 0;
+    idx_t direct_range = 0;
   };
 
   struct Stats {
@@ -59,6 +69,9 @@ class GroupedAggregateHashTable {
     uint64_t prefetches = 0;           // software prefetches issued
     uint64_t vectorized_compares = 0;  // candidates matched column-at-a-time
     uint64_t scalar_compares = 0;      // candidates matched row-at-a-time
+    // Direct-index (perfect hash) fast-path counters.
+    uint64_t direct_hit_rows = 0;        // rows resolved via the pointer cache
+    uint64_t direct_fallback_chunks = 0;  // chunks sent to the generic path
 
     /// Folds another table's counters into this one — every field, so call
     /// sites cannot silently drop newly added counters.
@@ -107,6 +120,13 @@ class GroupedAggregateHashTable {
 
   /// All materialized rows (across resets).
   PartitionedTupleData &data() { return *data_; }
+
+  /// Group hashes of the most recent AddChunk input (valid for its
+  /// input.size() leading slots until the next AddChunk). The planner's
+  /// sampling phase reads these so estimation never re-hashes.
+  [[nodiscard]] const hash_t *LastChunkHashes() const {
+    return hashes_.data();
+  }
 
   const TupleDataLayout &layout() const { return row_layout_.layout; }
   const AggregateRowLayout &row_layout() const { return row_layout_; }
@@ -170,6 +190,14 @@ class GroupedAggregateHashTable {
   bool RowMatches(const DataChunk &layout_chunk, idx_t r,
                   const_data_ptr_t row) const;
 
+  /// Direct-index fast path: resolves every row of `input` through the
+  /// pointer cache and folds the aggregate updates. Sets *handled = false
+  /// (mutating nothing) on the first uncached or out-of-range key.
+  Status AddChunkDirect(const DataChunk &input, bool *handled);
+  /// After a generic-path chunk: caches the group-row pointer of every
+  /// in-range key the chunk resolved.
+  void BackfillDirect(const DataChunk &input);
+
   /// Doubles the entry array and rebuilds it from the materialized rows
   /// (resizable tables only).
   Status Resize();
@@ -207,6 +235,13 @@ class GroupedAggregateHashTable {
   SelectionVector new_group_sel_;
   SelectionVector compare_sel_;
   SelectionVector no_match_sel_;
+
+  // Direct-index pointer cache (slot direct_range = NULL key); emptied on
+  // ClearPointerTable (the rows' pins are released with it) and dropped for
+  // good after too many consecutive fallback chunks.
+  std::vector<data_ptr_t> direct_ptrs_;
+  bool direct_enabled_ = false;
+  idx_t direct_fallback_streak_ = 0;
 
   Stats stats_;
 };

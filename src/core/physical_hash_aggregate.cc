@@ -1,5 +1,8 @@
 #include "core/physical_hash_aggregate.h"
 
+#include <algorithm>
+
+#include "observe/metrics.h"
 #include "observe/trace.h"
 
 namespace ssagg {
@@ -8,15 +11,41 @@ Result<std::unique_ptr<PhysicalHashAggregate>> PhysicalHashAggregate::Create(
     BufferManager &buffer_manager, std::vector<LogicalTypeId> input_types,
     std::vector<idx_t> group_columns, std::vector<AggregateRequest> aggregates,
     HashAggregateConfig config) {
+  SSAGG_ASSIGN_OR_RETURN(auto forced, AggregateStrategyFromEnv());
+  if (forced) {
+    config.strategy = *forced;
+  }
   SSAGG_ASSIGN_OR_RETURN(
       auto row_layout,
       AggregateRowLayout::Build(input_types, group_columns, aggregates));
-  return std::unique_ptr<PhysicalHashAggregate>(new PhysicalHashAggregate(
+  auto agg = std::unique_ptr<PhysicalHashAggregate>(new PhysicalHashAggregate(
       buffer_manager, std::move(input_types), std::move(row_layout), config));
+
+  if (config.enable_direct_index && agg->row_layout_.group_count == 1 &&
+      agg->input_types_[agg->row_layout_.group_columns[0]] ==
+          LogicalTypeId::kInt64) {
+    agg->direct_key_column_ = agg->row_layout_.group_columns[0];
+  }
+
+  AggregatePlanner::Options planner_options;
+  planner_options.strategy = config.strategy;
+  planner_options.early_agg = config.early_aggregation;
+  planner_options.sample_rows = config.planner_sample_rows;
+  planner_options.phase1_capacity = config.phase1_capacity;
+  planner_options.radix_partitions = idx_t{1} << config.radix_bits;
+  planner_options.reset_fill_ratio = config.reset_fill_ratio;
+  planner_options.row_width_bytes = agg->row_layout_.layout.RowWidth();
+  planner_options.memory_limit_bytes = buffer_manager.memory_limit();
+  planner_options.total_rows = config.expected_input_rows;
+  planner_options.enable_direct_index =
+      agg->direct_key_column_ != kInvalidIndex;
+  agg->planner_ = std::make_unique<AggregatePlanner>(
+      planner_options, MetricsRegistry::Global());
+  return agg;
 }
 
-Result<std::unique_ptr<LocalSinkState>> PhysicalHashAggregate::InitLocal() {
-  auto state = std::make_unique<LocalState>();
+Status PhysicalHashAggregate::MakePhase1Table(
+    std::unique_ptr<GroupedAggregateHashTable> *out) {
   GroupedAggregateHashTable::Config ht_config;
   ht_config.capacity = config_.phase1_capacity;
   ht_config.radix_bits = config_.radix_bits;
@@ -24,31 +53,155 @@ Result<std::unique_ptr<LocalSinkState>> PhysicalHashAggregate::InitLocal() {
   ht_config.use_salt = config_.use_salt;
   ht_config.vectorized_probe = config_.vectorized_probe;
   ht_config.reset_fill_ratio = config_.reset_fill_ratio;
-  SSAGG_ASSIGN_OR_RETURN(
-      state->ht,
-      GroupedAggregateHashTable::Create(buffer_manager_, row_layout_,
-                                        ht_config));
+  SSAGG_ASSIGN_OR_RETURN(*out,
+                         GroupedAggregateHashTable::Create(
+                             buffer_manager_, row_layout_, ht_config));
+  return Status::OK();
+}
+
+Status PhysicalHashAggregate::MakeMergeTable(
+    idx_t capacity, std::unique_ptr<GroupedAggregateHashTable> *out) {
+  GroupedAggregateHashTable::Config ht_config;
+  ht_config.capacity = capacity;
+  // Same fan-out as the fixed tables: a demoted merge table's rows can then
+  // join the partition-wise exchange, and central/tree finals emit their
+  // partitions in parallel.
+  ht_config.radix_bits = config_.radix_bits;
+  ht_config.resizable = true;
+  ht_config.use_salt = config_.use_salt;
+  ht_config.vectorized_probe = config_.vectorized_probe;
+  ht_config.reset_fill_ratio = config_.reset_fill_ratio;
+  if (planner_->decided()) {
+    const PlannerDecision decision = planner_->decision();
+    if (decision.direct_index) {
+      ht_config.direct_min = decision.direct_min;
+      ht_config.direct_range = decision.direct_range;
+    }
+  }
+  SSAGG_ASSIGN_OR_RETURN(*out,
+                         GroupedAggregateHashTable::Create(
+                             buffer_manager_, row_layout_, ht_config));
+  return Status::OK();
+}
+
+void PhysicalHashAggregate::ObserveChunkKeyRange(const DataChunk &chunk) {
+  const Vector &key_vec = chunk.column(direct_key_column_);
+  const auto *keys = key_vec.Values<int64_t>();
+  const ValidityMask &validity = key_vec.validity();
+  const idx_t count = chunk.size();
+  int64_t lo = 0;
+  int64_t hi = 0;
+  bool seen = false;
+  for (idx_t r = 0; r < count; r++) {
+    if (!validity.RowIsValid(r)) {
+      continue;
+    }
+    if (!seen) {
+      lo = hi = keys[r];
+      seen = true;
+      continue;
+    }
+    lo = std::min(lo, keys[r]);
+    hi = std::max(hi, keys[r]);
+  }
+  if (seen) {
+    planner_->ObserveKeyRange(lo, hi);
+  }
+}
+
+Result<std::unique_ptr<LocalSinkState>> PhysicalHashAggregate::InitLocal() {
+  auto state = std::make_unique<LocalState>();
+  SSAGG_RETURN_NOT_OK(MakePhase1Table(&state->ht));
+  planner_->RegisterThread();
   return std::unique_ptr<LocalSinkState>(std::move(state));
 }
 
 Status PhysicalHashAggregate::Sink(DataChunk &chunk, LocalSinkState &state) {
   auto &local = static_cast<LocalState &>(state);
+  if (planner_->sampling()) {
+    // Phase 0: the classic fixed-table path, with the chunk's group hashes
+    // (already computed by AddChunk) feeding the estimator. The window
+    // closes inside Observe once enough rows were seen, so the key range
+    // (direct-index candidacy) must be fed first.
+    SSAGG_RETURN_NOT_OK(local.ht->AddChunk(chunk));
+    if (direct_key_column_ != kInvalidIndex) {
+      ObserveChunkKeyRange(chunk);
+    }
+    planner_->Observe(local.ht->LastChunkHashes(), chunk.size());
+    if (local.ht->NeedsReset()) {
+      local.ht->ClearPointerTable();
+    }
+    return MaybeEarlyAggregate(local);
+  }
+
+  const AggregateStrategy strategy = planner_->EffectiveStrategy();
+  if (strategy == AggregateStrategy::kCentralMerge ||
+      strategy == AggregateStrategy::kTreeMerge) {
+    if (!local.merge_ht) {
+      SSAGG_RETURN_NOT_OK(TransitionLocal(local));
+    }
+    SSAGG_RETURN_NOT_OK(local.merge_ht->AddChunk(chunk));
+    if (local.merge_ht->Count() > local.demote_limit) {
+      // Misestimate guard: the table outgrew the decision. Flip the whole
+      // query to the radix plan; other threads notice on their next chunk.
+      planner_->Demote();
+      SSAGG_RETURN_NOT_OK(DemoteLocal(local));
+    }
+    return Status::OK();
+  }
+
+  // Radix plan (chosen, forced, or demoted-to).
+  if (local.merge_ht) {
+    // Another thread demoted the query after this one transitioned.
+    SSAGG_RETURN_NOT_OK(DemoteLocal(local));
+  }
   SSAGG_RETURN_NOT_OK(local.ht->AddChunk(chunk));
   if (local.ht->NeedsReset()) {
     // Reset once two-thirds full: only the entry array is cleared, the
     // tuples stay in place and their pages become evictable.
     local.ht->ClearPointerTable();
   }
-  if (config_.enable_early_aggregation) {
-    idx_t used = buffer_manager_.memory_used();
-    idx_t local_rows = local.ht->data().Count();
-    if (used > config_.early_aggregation_ratio *
-                   buffer_manager_.memory_limit() &&
-        local_rows >= config_.early_aggregation_min_rows &&
-        local_rows >= 2 * local.last_compact_count) {
-      SSAGG_RETURN_NOT_OK(EarlyCompactLocal(local));
-      local.last_compact_count = local.ht->data().Count();
-    }
+  return MaybeEarlyAggregate(local);
+}
+
+Status PhysicalHashAggregate::TransitionLocal(LocalState &local) {
+  const PlannerDecision decision = planner_->decision();
+  TraceSpan span("planner.transition", "agg", decision.local_table_capacity);
+  std::unique_ptr<GroupedAggregateHashTable> merge_ht;
+  SSAGG_RETURN_NOT_OK(
+      MakeMergeTable(decision.local_table_capacity, &merge_ht));
+  // Fold the rows sampled into the fixed table (possibly duplicated across
+  // resets) into the right-sized table, then retire the fixed table.
+  SSAGG_RETURN_NOT_OK(MergeTableInto(*merge_ht, *local.ht, nullptr));
+  local.carry_stats.Merge(local.ht->stats());
+  local.carry_resets += local.ht->stats().resets;
+  local.ht.reset();
+  local.merge_ht = std::move(merge_ht);
+  local.demote_limit = decision.demote_group_limit;
+  return Status::OK();
+}
+
+Status PhysicalHashAggregate::DemoteLocal(LocalState &local) {
+  TraceSpan span("planner.demote", "agg", local.merge_ht->Count());
+  // Release the merge table's pins so its pages become spillable; its rows
+  // are fully grouped within the table, and join global_data_ at Combine.
+  local.merge_ht->ClearPointerTable();
+  local.retired.push_back(std::move(local.merge_ht));
+  return MakePhase1Table(&local.ht);
+}
+
+Status PhysicalHashAggregate::MaybeEarlyAggregate(LocalState &local) {
+  if (!local.ht || !planner_->ShouldEarlyAggregate()) {
+    return Status::OK();
+  }
+  idx_t used = buffer_manager_.memory_used();
+  idx_t local_rows = local.ht->data().Count();
+  if (used > config_.early_aggregation_ratio *
+                 buffer_manager_.memory_limit() &&
+      local_rows >= config_.early_aggregation_min_rows &&
+      local_rows >= 2 * local.last_compact_count) {
+    SSAGG_RETURN_NOT_OK(EarlyCompactLocal(local));
+    local.last_compact_count = local.ht->data().Count();
   }
   return Status::OK();
 }
@@ -74,19 +227,7 @@ Status PhysicalHashAggregate::EarlyCompactLocal(LocalState &local) {
     SSAGG_ASSIGN_OR_RETURN(
         auto compactor, GroupedAggregateHashTable::Create(
                             buffer_manager_, row_layout_, ht_config));
-    DataChunk layout_chunk(row_layout_.layout.Types());
-    std::vector<data_ptr_t> src_rows(kVectorSize);
-    TupleDataScanState scan;
-    part.InitScan(scan, /*destroy_after_scan=*/true);
-    while (true) {
-      SSAGG_ASSIGN_OR_RETURN(bool more,
-                             part.Scan(scan, layout_chunk, src_rows.data()));
-      if (!more) {
-        break;
-      }
-      SSAGG_RETURN_NOT_OK(
-          compactor->CombineSourceChunk(layout_chunk, src_rows.data()));
-    }
+    SSAGG_RETURN_NOT_OK(MergeCollectionInto(*compactor, part, nullptr));
     compactor->ClearPointerTable();
     // Replace the partition's contents with the compacted rows.
     part.Reset();
@@ -98,23 +239,106 @@ Status PhysicalHashAggregate::EarlyCompactLocal(LocalState &local) {
   return Status::OK();
 }
 
+Status PhysicalHashAggregate::MergeCollectionInto(
+    GroupedAggregateHashTable &target, TupleDataCollection &source,
+    TaskExecutor *executor) {
+  if (source.Count() == 0) {
+    return Status::OK();
+  }
+  // Warm spilled pages while the scan sets up; the scan itself prefetches
+  // one page ahead from then on.
+  source.PrefetchForScan(4);
+  DataChunk layout_chunk(row_layout_.layout.Types());
+  std::vector<data_ptr_t> src_rows(kVectorSize);
+  TupleDataScanState scan;
+  source.InitScan(scan, /*destroy_after_scan=*/true);
+  while (true) {
+    SSAGG_ASSIGN_OR_RETURN(bool more,
+                           source.Scan(scan, layout_chunk, src_rows.data()));
+    if (!more) {
+      break;
+    }
+    if (executor != nullptr) {
+      SSAGG_RETURN_NOT_OK(executor->CheckDeadline());
+    }
+    SSAGG_RETURN_NOT_OK(
+        target.CombineSourceChunk(layout_chunk, src_rows.data()));
+  }
+  return Status::OK();
+}
+
+Status PhysicalHashAggregate::MergeTableInto(
+    GroupedAggregateHashTable &target, GroupedAggregateHashTable &source,
+    TaskExecutor *executor) {
+  source.ClearPointerTable();  // releases the append pins before destroying
+  auto &data = source.data();
+  for (idx_t p = 0; p < data.PartitionCount(); p++) {
+    SSAGG_RETURN_NOT_OK(
+        MergeCollectionInto(target, data.partition(p), executor));
+  }
+  return Status::OK();
+}
+
 Status PhysicalHashAggregate::Combine(LocalSinkState &state) {
   auto &local = static_cast<LocalState &>(state);
-  local.ht->ClearPointerTable();  // releases the append pins
+  // Tiny inputs may finish inside the sampling window; the merge path
+  // below needs a decision either way. A thread that never got a morsel
+  // must NOT force it, though: it can reach Combine while other threads
+  // are still sampling, and deciding off its empty sample would pick
+  // radix for every tiny query. Threads with no data have nothing to
+  // merge, so they can leave the window open (EmitResults decides if
+  // nobody else did).
+  const bool has_data = (local.ht && local.ht->data().Count() > 0) ||
+                        local.merge_ht != nullptr || !local.retired.empty();
+  if (has_data) {
+    planner_->EnsureDecided();
+  }
+  const AggregateStrategy strategy = planner_->EffectiveStrategy();
+  if (local.merge_ht && strategy == AggregateStrategy::kRadixMerge) {
+    // Demoted after this thread transitioned but before it combined.
+    local.merge_ht->ClearPointerTable();
+    local.retired.push_back(std::move(local.merge_ht));
+  }
+  if (local.ht) {
+    local.ht->ClearPointerTable();  // releases the append pins
+  }
   ScopedLock guard(lock_);
+  for (auto &retired : local.retired) {
+    PushGlobalData(*retired);
+    retired.reset();
+  }
+  local.retired.clear();
+  if (local.ht) {
+    PushGlobalData(*local.ht);
+    local.ht.reset();
+  }
+  if (local.merge_ht) {
+    // Central/tree: hand the fully aggregated thread table to EmitResults.
+    // Its pointer table stays valid — the central target keeps probing it —
+    // and its stats are accounted when the table is consumed in phase 2.
+    stats_.materialized_rows += local.merge_ht->data().Count();
+    local_tables_.push_back(std::move(local.merge_ht));
+  }
+  stats_.ht.Merge(local.carry_stats);
+  stats_.phase1_resets += local.carry_resets;
+  stats_.early_compactions += local.early_compactions;
+  stats_.early_compacted_rows += local.early_compacted_rows;
+  return Status::OK();
+}
+
+void PhysicalHashAggregate::PushGlobalData(GroupedAggregateHashTable &table,
+                                           bool count_materialized) {
   if (!global_data_) {
     global_data_ = std::make_unique<PartitionedTupleData>(
         buffer_manager_, row_layout_.layout, config_.radix_bits);
   }
-  stats_.materialized_rows += local.ht->data().Count();
-  const auto &s = local.ht->stats();
+  if (count_materialized) {
+    stats_.materialized_rows += table.data().Count();
+  }
+  const auto &s = table.stats();
   stats_.ht.Merge(s);
   stats_.phase1_resets += s.resets;
-  stats_.early_compactions += local.early_compactions;
-  stats_.early_compacted_rows += local.early_compacted_rows;
-  global_data_->Combine(local.ht->data());
-  local.ht.reset();
-  return Status::OK();
+  global_data_->Combine(table.data());
 }
 
 Status PhysicalHashAggregate::AggregatePartition(PartitionedTupleData &data,
@@ -137,25 +361,9 @@ Status PhysicalHashAggregate::AggregatePartition(PartitionedTupleData &data,
       auto ht, GroupedAggregateHashTable::Create(buffer_manager_, row_layout_,
                                                  ht_config));
 
-  // Warm the partition's spilled pages while the hash table is set up; the
-  // scan itself prefetches one page ahead from then on.
-  source.PrefetchForScan(4);
-
   // Merge the partition's pre-aggregated rows; pages are destroyed as the
   // scan moves past them.
-  DataChunk layout_chunk(row_layout_.layout.Types());
-  std::vector<data_ptr_t> src_rows(kVectorSize);
-  TupleDataScanState scan;
-  source.InitScan(scan, /*destroy_after_scan=*/true);
-  while (true) {
-    SSAGG_ASSIGN_OR_RETURN(bool more,
-                           source.Scan(scan, layout_chunk, src_rows.data()));
-    if (!more) {
-      break;
-    }
-    SSAGG_RETURN_NOT_OK(executor.CheckDeadline());
-    SSAGG_RETURN_NOT_OK(ht->CombineSourceChunk(layout_chunk, src_rows.data()));
-  }
+  SSAGG_RETURN_NOT_OK(MergeCollectionInto(*ht, source, &executor));
 
   // The pointer table is no longer needed; release the build pins so result
   // pages can be freed as soon as the output scan passes them.
@@ -163,9 +371,25 @@ Status PhysicalHashAggregate::AggregatePartition(PartitionedTupleData &data,
 
   // Push the fully aggregated partition to the next operator immediately,
   // freeing its pages as they are consumed.
+  SSAGG_RETURN_NOT_OK(EmitTablePartition(*ht, 0, output, executor));
+  {
+    ScopedLock guard(lock_);
+    stats_.ht.Merge(ht->stats());
+  }
+  return Status::OK();
+}
+
+Status PhysicalHashAggregate::EmitTablePartition(
+    GroupedAggregateHashTable &table, idx_t partition_idx, DataSink &output,
+    TaskExecutor &executor) {
+  TupleDataCollection &result = table.data().partition(partition_idx);
+  if (result.Count() == 0) {
+    return Status::OK();
+  }
   SSAGG_ASSIGN_OR_RETURN(auto out_local, output.InitLocal());
+  DataChunk layout_chunk(row_layout_.layout.Types());
+  std::vector<data_ptr_t> src_rows(kVectorSize);
   DataChunk out(OutputTypes());
-  TupleDataCollection &result = ht->data().partition(0);
   TupleDataScanState result_scan;
   result.InitScan(result_scan, /*destroy_after_scan=*/true);
   idx_t groups = 0;
@@ -175,7 +399,8 @@ Status PhysicalHashAggregate::AggregatePartition(PartitionedTupleData &data,
     if (!more) {
       break;
     }
-    ht->FinalizeChunk(layout_chunk, src_rows.data(), out);
+    SSAGG_RETURN_NOT_OK(executor.CheckDeadline());
+    table.FinalizeChunk(layout_chunk, src_rows.data(), out);
     groups += out.size();
     SSAGG_RETURN_NOT_OK(output.Sink(out, *out_local));
   }
@@ -183,21 +408,35 @@ Status PhysicalHashAggregate::AggregatePartition(PartitionedTupleData &data,
   {
     ScopedLock guard(lock_);
     stats_.unique_groups += groups;
-    stats_.ht.Merge(ht->stats());
   }
   return Status::OK();
 }
 
-Status PhysicalHashAggregate::EmitResults(DataSink &output,
-                                          TaskExecutor &executor) {
-  // Resolve the merged partition set once under the lock; the partition
-  // tasks then work on disjoint partitions of it. (EmitResults used to read
-  // global_data_ unlocked in every task.)
-  PartitionedTupleData *data;
-  {
-    ScopedLock guard(lock_);
-    data = global_data_.get();
+Status PhysicalHashAggregate::EmitTable(GroupedAggregateHashTable &table,
+                                        DataSink &output,
+                                        TaskExecutor &executor) {
+  // Release the build pins; result pages are then freed as the output
+  // scans pass them.
+  table.ClearPointerTable();
+  auto &data = table.data();
+  std::vector<std::function<Status()>> tasks;
+  for (idx_t p = 0; p < data.PartitionCount(); p++) {
+    if (data.partition(p).Count() == 0) {
+      continue;
+    }
+    tasks.push_back([this, &table, p, &output, &executor]() {
+      return EmitTablePartition(table, p, output, executor);
+    });
   }
+  SSAGG_RETURN_NOT_OK(executor.RunTasks(tasks));
+  ScopedLock guard(lock_);
+  stats_.ht.Merge(table.stats());
+  return Status::OK();
+}
+
+Status PhysicalHashAggregate::RadixMergeEmit(PartitionedTupleData *data,
+                                             DataSink &output,
+                                             TaskExecutor &executor) {
   if (data == nullptr) {
     return Status::OK();  // no input at all
   }
@@ -210,9 +449,138 @@ Status PhysicalHashAggregate::EmitResults(DataSink &output,
   return executor.RunTasks(tasks);
 }
 
+Status PhysicalHashAggregate::CentralMergeEmit(
+    std::vector<std::unique_ptr<GroupedAggregateHashTable>> tables,
+    PartitionedTupleData *data, DataSink &output, TaskExecutor &executor) {
+  const bool have_global = data != nullptr && data->Count() > 0;
+  if (tables.empty() && !have_global) {
+    return Status::OK();
+  }
+  TraceSpan span("phase2.central_merge", "agg", tables.size());
+  // The first thread table becomes the merge target (its pointer table is
+  // still valid, so nothing is rebuilt); with no transitioned thread a
+  // fresh table serves (global-only input, e.g. all rows sampled).
+  std::unique_ptr<GroupedAggregateHashTable> target;
+  if (!tables.empty()) {
+    target = std::move(tables.front());
+    tables.erase(tables.begin());
+  } else {
+    SSAGG_RETURN_NOT_OK(MakeMergeTable(
+        planner_->decision().local_table_capacity, &target));
+  }
+  for (auto &table : tables) {
+    SSAGG_RETURN_NOT_OK(MergeTableInto(*target, *table, &executor));
+    {
+      ScopedLock guard(lock_);
+      stats_.ht.Merge(table->stats());
+    }
+    table.reset();
+  }
+  if (have_global) {
+    // Data of threads that never transitioned (or were sampled-only);
+    // duplicated groups collapse into the target here.
+    for (idx_t p = 0; p < data->PartitionCount(); p++) {
+      SSAGG_RETURN_NOT_OK(
+          MergeCollectionInto(*target, data->partition(p), &executor));
+    }
+  }
+  return EmitTable(*target, output, executor);
+}
+
+Status PhysicalHashAggregate::TreeMergeEmit(
+    std::vector<std::unique_ptr<GroupedAggregateHashTable>> tables,
+    PartitionedTupleData *data, DataSink &output, TaskExecutor &executor) {
+  if (data != nullptr && data->Count() > 0) {
+    // Materialize the non-transitioned leftovers as one more leaf so the
+    // rounds below see a uniform table list.
+    std::unique_ptr<GroupedAggregateHashTable> leaf;
+    SSAGG_RETURN_NOT_OK(MakeMergeTable(
+        planner_->decision().local_table_capacity, &leaf));
+    for (idx_t p = 0; p < data->PartitionCount(); p++) {
+      SSAGG_RETURN_NOT_OK(
+          MergeCollectionInto(*leaf, data->partition(p), &executor));
+    }
+    tables.push_back(std::move(leaf));
+  }
+  if (tables.empty()) {
+    return Status::OK();
+  }
+  TraceSpan span("phase2.tree_merge", "agg", tables.size());
+  // Pairwise parallel rounds over a stable table array: round with stride s
+  // merges table j+s into table j. ceil(log2 N) barrier rounds total.
+  std::vector<std::vector<std::function<Status()>>> rounds;
+  for (idx_t step = 1; step < tables.size(); step *= 2) {
+    std::vector<std::function<Status()>> round;
+    for (idx_t j = 0; j + step < tables.size(); j += 2 * step) {
+      round.push_back([this, &tables, j, step, &executor]() {
+        auto &source = tables[j + step];
+        SSAGG_RETURN_NOT_OK(
+            MergeTableInto(*tables[j], *source, &executor));
+        {
+          ScopedLock guard(lock_);
+          stats_.ht.Merge(source->stats());
+        }
+        source.reset();
+        return Status::OK();
+      });
+    }
+    rounds.push_back(std::move(round));
+  }
+  SSAGG_RETURN_NOT_OK(executor.RunTaskRounds(rounds));
+  return EmitTable(*tables.front(), output, executor);
+}
+
+Status PhysicalHashAggregate::EmitResults(DataSink &output,
+                                          TaskExecutor &executor) {
+  planner_->EnsureDecided();
+  const AggregateStrategy strategy = planner_->EffectiveStrategy();
+  // Resolve the merged inputs once under the lock; phase-2 tasks then work
+  // on disjoint partitions/tables of them.
+  PartitionedTupleData *data;
+  std::vector<std::unique_ptr<GroupedAggregateHashTable>> tables;
+  {
+    ScopedLock guard(lock_);
+    data = global_data_.get();
+    tables = std::move(local_tables_);
+    local_tables_.clear();
+  }
+  if (strategy == AggregateStrategy::kRadixMerge && !tables.empty()) {
+    // Demotion raced with the last Combine calls: fold the straggler merge
+    // tables into the radix exchange (fan-outs match by construction).
+    ScopedLock guard(lock_);
+    for (auto &table : tables) {
+      table->ClearPointerTable();
+      PushGlobalData(*table, /*count_materialized=*/false);
+      table.reset();
+    }
+    tables.clear();
+    data = global_data_.get();
+  }
+  switch (strategy) {
+    case AggregateStrategy::kCentralMerge:
+      return CentralMergeEmit(std::move(tables), data, output, executor);
+    case AggregateStrategy::kTreeMerge:
+      return TreeMergeEmit(std::move(tables), data, output, executor);
+    case AggregateStrategy::kRadixMerge:
+    case AggregateStrategy::kAdaptive:  // unreachable: decisions are concrete
+      break;
+  }
+  return RadixMergeEmit(data, output, executor);
+}
+
 HashAggregateStats PhysicalHashAggregate::stats() const {
+  // Planner fields first: the planner's lock never nests with lock_.
+  const bool decided = planner_->decided();
+  PlannerDecision decision = decided ? planner_->decision() : PlannerDecision{};
+  const bool demoted = planner_->demoted();
+  const double sampling_seconds = planner_->sampling_seconds();
   ScopedLock guard(lock_);
-  return stats_;
+  HashAggregateStats stats = stats_;
+  stats.planner = decision;
+  stats.planner_decided = decided;
+  stats.planner_demoted = demoted;
+  stats.sampling_seconds = sampling_seconds;
+  return stats;
 }
 
 idx_t PhysicalHashAggregate::MaterializedBytes() const {

@@ -6,6 +6,7 @@
 
 #include "buffer/buffer_manager.h"
 #include "common/mutex.h"
+#include "core/aggregate_planner.h"
 #include "core/grouped_aggregate_hash_table.h"
 #include "execution/operator.h"
 #include "execution/task_executor.h"
@@ -28,11 +29,27 @@ struct HashAggregateConfig {
   /// row-at-a-time reference path.
   bool vectorized_probe = true;
   double reset_fill_ratio = kHashTableResetFillRatio;
-  /// Optional extension (paper Section IX, future work): when the memory
-  /// limit is about to be exceeded during phase 1, a thread re-aggregates
-  /// its own partitions early, collapsing duplicated groups before they are
-  /// spilled — trading CPU for reduced intermediate size and I/O.
-  bool enable_early_aggregation = false;
+  /// How thread-local results are merged (DESIGN.md section 11). kAdaptive
+  /// samples the first chunks and picks with the cost models; the concrete
+  /// values force a strategy (tests/ablation; also forced by the
+  /// SSAGG_AGG_STRATEGY environment variable, which overrides this field).
+  AggregateStrategy strategy = AggregateStrategy::kAdaptive;
+  /// Rows (across all threads) the planner samples before deciding.
+  idx_t planner_sample_rows = 32768;
+  /// Lets the planner enable the direct-index (perfect hash) fast path on
+  /// central/tree thread tables when the query groups by a single int64 key
+  /// whose sampled value span is small (DESIGN.md section 11).
+  bool enable_direct_index = true;
+  /// Total input rows if the caller knows them (RunGroupedAggregation fills
+  /// this from DataSource::EstimatedRowCount); kInvalidIndex = unknown.
+  idx_t expected_input_rows = kInvalidIndex;
+  /// Early aggregation (paper Section IX): when the memory limit is about
+  /// to be exceeded during phase 1, a thread re-aggregates its own
+  /// partitions early, collapsing duplicated groups before they are
+  /// spilled — trading CPU for reduced intermediate size and I/O. kAuto
+  /// lets the planner decide from observed spill pressure and the sampled
+  /// duplication ratio; kOn/kOff keep the old static behavior.
+  EarlyAggMode early_aggregation = EarlyAggMode::kAuto;
   /// Pool fill ratio that triggers early aggregation.
   double early_aggregation_ratio = 0.8;
   /// Minimum thread-local materialized rows before compacting (and the
@@ -51,22 +68,35 @@ struct HashAggregateStats {
   /// Wall-clock seconds of the two phases (filled by Execute helpers).
   double phase1_seconds = 0;
   double phase2_seconds = 0;
+  /// Planner snapshot (copied from the AggregatePlanner at stats() time).
+  PlannerDecision planner;
+  bool planner_decided = false;
+  bool planner_demoted = false;
+  double sampling_seconds = 0;
 };
 
 /// DuckDB's embarrassingly external parallel hash aggregation (paper
-/// Section V, Figure 3):
+/// Section V, Figure 3), grown an adaptive planning layer (DESIGN.md
+/// section 11):
 ///
-///   Phase 1 (Thread-Local Pre-Aggregation): each worker aggregates morsels
-///   into its own small fixed-size salted hash table, materializing groups
-///   directly into radix-partitioned spillable pages; the table is reset
-///   (pointer array cleared, pages unpinned) at 2/3 fill. The phase is
-///   RAM-oblivious: nothing about it depends on the memory limit, and the
-///   buffer manager alone decides which pages spill.
+///   Phase 0 (Sampling): the first planner_sample_rows rows flow through
+///   the classic fixed-size thread tables while their group hashes feed a
+///   cardinality estimator; cost models then commit to a merge strategy.
 ///
-///   Phase 2 (Partition-Wise Aggregation): thread-local partitions are
-///   exchanged and each partition is aggregated independently in parallel
-///   with a resizable table; finished partitions are immediately pushed to
-///   the next sink and their pages destroyed.
+///   Phase 1 (Thread-Local Pre-Aggregation): under the radix strategy each
+///   worker aggregates morsels into its own small fixed-size salted hash
+///   table, materializing groups directly into radix-partitioned spillable
+///   pages; the table is reset (pointer array cleared, pages unpinned) at
+///   2/3 fill. The phase is RAM-oblivious. Under central/tree the worker
+///   instead folds everything into one right-sized resizable table (still
+///   radix-partitioned with the same fan-out, so a misestimate can demote
+///   the query back to the radix plan mid-flight).
+///
+///   Phase 2: radix exchanges thread-local partitions and aggregates each
+///   independently in parallel; central merges the thread tables into one
+///   sequentially; tree merges them pairwise in parallel barrier rounds.
+///   Either way finished partitions are immediately pushed to the next
+///   sink and their pages destroyed.
 class PhysicalHashAggregate : public DataSink {
  public:
   static Result<std::unique_ptr<PhysicalHashAggregate>> Create(
@@ -84,10 +114,10 @@ class PhysicalHashAggregate : public DataSink {
   Status Sink(DataChunk &chunk, LocalSinkState &state) override;
   Status Combine(LocalSinkState &state) override;
 
-  /// Phase 2: aggregates each partition and pushes finished partitions into
-  /// `output` ("fully aggregated partitions are immediately scanned,
-  /// effectively becoming morsels in the next pipeline"). Partition pages
-  /// are destroyed as they are consumed.
+  /// Phase 2: merges thread-local results per the planner's strategy and
+  /// pushes finished partitions into `output` ("fully aggregated
+  /// partitions are immediately scanned, effectively becoming morsels in
+  /// the next pipeline"). Pages are destroyed as they are consumed.
   Status EmitResults(DataSink &output, TaskExecutor &executor);
 
   /// A snapshot taken under the operator lock: safe to call while phase-2
@@ -95,6 +125,9 @@ class PhysicalHashAggregate : public DataSink {
   [[nodiscard]] HashAggregateStats stats() const;
   /// Total bytes materialized into partitions (intermediate size).
   [[nodiscard]] idx_t MaterializedBytes() const;
+
+  /// The per-query planner (decision, sampling overhead, demotion state).
+  [[nodiscard]] const AggregatePlanner &planner() const { return *planner_; }
 
  private:
   PhysicalHashAggregate(BufferManager &buffer_manager,
@@ -107,15 +140,62 @@ class PhysicalHashAggregate : public DataSink {
         config_(config) {}
 
   struct LocalState : public LocalSinkState {
+    /// Fixed-size phase-1 table (sampling window / radix strategy).
     std::unique_ptr<GroupedAggregateHashTable> ht;
+    /// Right-sized resizable table (central/tree strategies, after the
+    /// transition).
+    std::unique_ptr<GroupedAggregateHashTable> merge_ht;
+    /// Merge tables retired by a demotion; their (partially aggregated,
+    /// radix-partitioned) rows join global_data_ at Combine.
+    std::vector<std::unique_ptr<GroupedAggregateHashTable>> retired;
+    /// Stats of tables this thread already destroyed (transition).
+    GroupedAggregateHashTable::Stats carry_stats;
+    idx_t carry_resets = 0;
+    idx_t demote_limit = 0;
     idx_t last_compact_count = 0;
     idx_t early_compactions = 0;
     idx_t early_compacted_rows = 0;
   };
 
+  Status MakePhase1Table(std::unique_ptr<GroupedAggregateHashTable> *out);
+  Status MakeMergeTable(idx_t capacity,
+                        std::unique_ptr<GroupedAggregateHashTable> *out);
+
+  /// Sampling phase: feeds the chunk's int64 key extremes to the planner's
+  /// direct-index candidate range.
+  void ObserveChunkKeyRange(const DataChunk &chunk);
+
+  /// Central/tree: replaces the thread's fixed table with a right-sized
+  /// resizable one seeded from everything sampled so far.
+  Status TransitionLocal(LocalState &local);
+  /// Misestimate fallback: retires the thread's merge table (its rows join
+  /// the radix exchange at Combine) and resumes with a fixed table.
+  Status DemoteLocal(LocalState &local);
+
+  /// Runs the early-aggregation policy checks and compacts if they pass.
+  Status MaybeEarlyAggregate(LocalState &local);
   /// Re-aggregates the thread's own partitions in place, collapsing
   /// duplicated groups materialized across hash-table resets.
   Status EarlyCompactLocal(LocalState &local);
+
+  /// Merges every row of `source` (releasing its pins, destroying its
+  /// pages) into `target`.
+  Status MergeTableInto(GroupedAggregateHashTable &target,
+                        GroupedAggregateHashTable &source,
+                        TaskExecutor *executor);
+  /// Merges one materialized collection into `target`, destroying it.
+  Status MergeCollectionInto(GroupedAggregateHashTable &target,
+                             TupleDataCollection &source,
+                             TaskExecutor *executor);
+
+  /// Finalizes and pushes one fully merged table: its partitions are
+  /// emitted by parallel tasks (FinalizeChunk is scratch-free, so tasks
+  /// can share the table; partition collections are disjoint objects).
+  Status EmitTable(GroupedAggregateHashTable &table, DataSink &output,
+                   TaskExecutor &executor);
+  Status EmitTablePartition(GroupedAggregateHashTable &table,
+                            idx_t partition_idx, DataSink &output,
+                            TaskExecutor &executor);
 
   /// `data` is the merged global partition set, resolved under the lock by
   /// EmitResults; partition `partition_idx` is owned by this task from here
@@ -123,10 +203,29 @@ class PhysicalHashAggregate : public DataSink {
   Status AggregatePartition(PartitionedTupleData &data, idx_t partition_idx,
                             DataSink &output, TaskExecutor &executor);
 
+  Status RadixMergeEmit(PartitionedTupleData *data, DataSink &output,
+                        TaskExecutor &executor);
+  Status CentralMergeEmit(
+      std::vector<std::unique_ptr<GroupedAggregateHashTable>> tables,
+      PartitionedTupleData *data, DataSink &output, TaskExecutor &executor);
+  Status TreeMergeEmit(
+      std::vector<std::unique_ptr<GroupedAggregateHashTable>> tables,
+      PartitionedTupleData *data, DataSink &output, TaskExecutor &executor);
+
+  /// Folds one finished phase-1 table's data into global_data_.
+  /// `count_materialized` is false when the table's rows were already
+  /// counted at Combine (a demoted merge table folded in by EmitResults).
+  void PushGlobalData(GroupedAggregateHashTable &table,
+                      bool count_materialized = true) SSAGG_REQUIRES(lock_);
+
   BufferManager &buffer_manager_;
   std::vector<LogicalTypeId> input_types_;
   AggregateRowLayout row_layout_;
   HashAggregateConfig config_;
+  std::unique_ptr<AggregatePlanner> planner_;
+  /// Input column of the single int64 group key when the layout admits the
+  /// direct-index fast path; kInvalidIndex otherwise.
+  idx_t direct_key_column_ = kInvalidIndex;
 
   mutable Mutex lock_;
   /// All thread-local materialized partitions, merged partition-wise at
@@ -134,6 +233,10 @@ class PhysicalHashAggregate : public DataSink {
   /// unique_ptr itself is guarded; once EmitResults starts, the pointee's
   /// partitions are partitioned among tasks (disjoint access).
   std::unique_ptr<PartitionedTupleData> global_data_ SSAGG_GUARDED_BY(lock_);
+  /// Central/tree thread merge tables, handed over at Combine; EmitResults
+  /// moves them out and merges them per the strategy.
+  std::vector<std::unique_ptr<GroupedAggregateHashTable>> local_tables_
+      SSAGG_GUARDED_BY(lock_);
   HashAggregateStats stats_ SSAGG_GUARDED_BY(lock_);
 };
 

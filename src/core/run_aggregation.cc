@@ -26,6 +26,24 @@ void AddAggregateStats(const HashAggregateStats &stats,
   profile.AddCounter("agg.ht_scalar_compares", stats.ht.scalar_compares);
   profile.AddTiming("agg.phase1_seconds", stats.phase1_seconds);
   profile.AddTiming("agg.phase2_seconds", stats.phase2_seconds);
+  // Planner decision (DESIGN.md section 11). Strategies are recorded as
+  // their enum values (1 central, 2 tree, 3 radix).
+  if (stats.planner_decided) {
+    profile.AddCounter("agg.chosen_strategy",
+                       static_cast<idx_t>(stats.planner.strategy));
+    profile.AddCounter("agg.advised_strategy",
+                       static_cast<idx_t>(stats.planner.advised));
+    profile.AddCounter("agg.planner_forced", stats.planner.forced ? 1 : 0);
+    profile.AddCounter("agg.planner_demoted", stats.planner_demoted ? 1 : 0);
+    profile.AddCounter("agg.estimated_groups", stats.planner.estimated_groups);
+    profile.AddCounter("agg.sampled_rows", stats.planner.sampled_rows);
+    profile.AddCounter("agg.direct_index", stats.planner.direct_index ? 1 : 0);
+    profile.AddCounter("agg.direct_hit_rows", stats.ht.direct_hit_rows);
+    profile.AddTiming("agg.sampling_seconds", stats.sampling_seconds);
+    profile.AddTiming("agg.cost_central", stats.planner.central_cost);
+    profile.AddTiming("agg.cost_tree", stats.planner.tree_cost);
+    profile.AddTiming("agg.cost_radix", stats.planner.radix_cost);
+  }
 }
 
 Result<HashAggregateStats> RunGroupedAggregation(
@@ -34,6 +52,10 @@ Result<HashAggregateStats> RunGroupedAggregation(
     const std::vector<AggregateRequest> &aggregates, DataSink &output,
     TaskExecutor &executor, HashAggregateConfig config,
     QueryProfile *profile) {
+  if (config.expected_input_rows == kInvalidIndex) {
+    // The planner extrapolates its sampled distinct count with this.
+    config.expected_input_rows = source.EstimatedRowCount();
+  }
   SSAGG_ASSIGN_OR_RETURN(
       auto agg, PhysicalHashAggregate::Create(buffer_manager, source.Types(),
                                               group_columns, aggregates,

@@ -39,6 +39,13 @@ class DataSource {
   virtual Status Rewind() {
     return Status::NotImplemented("source cannot be rewound");
   }
+
+  /// Total rows this source will produce, if it knows (kInvalidIndex when
+  /// it cannot estimate). The aggregate planner extrapolates its sampled
+  /// distinct count to the whole input with this.
+  [[nodiscard]] virtual idx_t EstimatedRowCount() const {
+    return kInvalidIndex;
+  }
 };
 
 /// A morsel-parallel data consumer (pipeline breaker or final collector).

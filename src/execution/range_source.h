@@ -54,6 +54,10 @@ class RangeSource : public DataSource {
     return true;
   }
 
+  [[nodiscard]] idx_t EstimatedRowCount() const override {
+    return total_rows_;
+  }
+
   /// Resets the morsel dispenser so the source can be scanned again.
   Status Rewind() override {
     next_morsel_.store(0, std::memory_order_relaxed);

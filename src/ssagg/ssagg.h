@@ -27,6 +27,7 @@
 #include "common/vector.h"
 #include "compression/codec.h"
 #include "core/aggregate_function.h"
+#include "core/aggregate_planner.h"
 #include "core/grouped_aggregate_hash_table.h"
 #include "core/physical_hash_aggregate.h"
 #include "core/physical_hash_join.h"

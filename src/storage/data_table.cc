@@ -57,6 +57,10 @@ class TableScanSource : public DataSource {
     return true;
   }
 
+  [[nodiscard]] idx_t EstimatedRowCount() const override {
+    return table_.RowCount();
+  }
+
   Status Rewind() override {
     next_group_.store(0, std::memory_order_relaxed);
     return Status::OK();

@@ -55,7 +55,10 @@ RunResult RunQuery(bool early, const std::string &temp_dir) {
   HashAggregateConfig config;
   config.phase1_capacity = 4096;
   config.radix_bits = 3;
-  config.enable_early_aggregation = early;
+  // Early compaction is a mechanism of the radix materializing path; pin
+  // the plan so the on/off comparison exercises it deterministically.
+  config.strategy = AggregateStrategy::kRadixMerge;
+  config.early_aggregation = early ? EarlyAggMode::kOn : EarlyAggMode::kOff;
   config.early_aggregation_ratio = 0.6;
   auto stats = RunGroupedAggregation(bm, source, {0},
                                      {{AggregateKind::kSum, 1}}, collector,
@@ -100,7 +103,8 @@ TEST_F(EarlyAggregationTest, NoOpWithAmpleMemory) {
   CountingCollector collector;
   HashAggregateConfig config;
   config.phase1_capacity = 4096;
-  config.enable_early_aggregation = true;
+  config.strategy = AggregateStrategy::kRadixMerge;
+  config.early_aggregation = EarlyAggMode::kOn;
   auto stats = RunGroupedAggregation(bm, source, {0},
                                      {{AggregateKind::kSum, 1}}, collector,
                                      executor, config);
@@ -129,7 +133,8 @@ TEST_F(EarlyAggregationTest, WorksWithStringsAndStickyPayloads) {
   HashAggregateConfig config;
   config.phase1_capacity = 4096;
   config.radix_bits = 3;
-  config.enable_early_aggregation = true;
+  config.strategy = AggregateStrategy::kRadixMerge;
+  config.early_aggregation = EarlyAggMode::kOn;
   config.early_aggregation_ratio = 0.5;
   auto stats = RunGroupedAggregation(bm, source, {0},
                                      {{AggregateKind::kAnyValue, 1}},
