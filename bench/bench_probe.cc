@@ -57,8 +57,8 @@ RunResult RunProbe(const std::vector<int64_t> &keys, bool vectorized,
       bm, {LogicalTypeId::kInt64}, {0},
       {{AggregateKind::kCountStar, kInvalidIndex}}, config);
   if (!ht_res.ok()) {
-    std::fprintf(stderr, "create failed: %s\n",
-                 ht_res.status().ToString().c_str());
+    SSAGG_LOG_ERROR("create failed: %s",
+                    ht_res.status().ToString().c_str());
     std::exit(1);
   }
   auto ht = ht_res.MoveValue();
@@ -72,8 +72,7 @@ RunResult RunProbe(const std::vector<int64_t> &keys, bool vectorized,
     input.SetCount(count);
     Status status = ht->AddChunk(input);
     if (!status.ok()) {
-      std::fprintf(stderr, "AddChunk failed: %s\n",
-                   status.ToString().c_str());
+      SSAGG_LOG_ERROR("AddChunk failed: %s", status.ToString().c_str());
       std::exit(1);
     }
   }

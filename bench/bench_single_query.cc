@@ -37,7 +37,7 @@ int main(int argc, char **argv) {
     }
   }
   if (gid < 1 || gid > 13) {
-    std::fprintf(stderr, "grouping must be 1..13\n");
+    SSAGG_LOG_ERROR("grouping must be 1..13");
     return 1;
   }
   tpch::LineitemGenerator gen(sf);

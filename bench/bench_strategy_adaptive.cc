@@ -81,8 +81,8 @@ RunResult RunOnce(AggregateStrategy strategy, const std::vector<int64_t> &keys,
                                      executor, config);
   auto end = std::chrono::steady_clock::now();
   if (!stats.ok()) {
-    std::fprintf(stderr, "%s failed: %s\n", AggregateStrategyName(strategy),
-                 stats.status().ToString().c_str());
+    SSAGG_LOG_ERROR("%s failed: %s", AggregateStrategyName(strategy),
+                    stats.status().ToString().c_str());
     std::exit(1);
   }
   RunResult result;

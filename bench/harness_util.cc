@@ -155,7 +155,7 @@ std::string WriteResultsJson(const std::string &bench_name,
   std::string path = "results/" + bench_name + ".json";
   std::FILE *f = status.ok() ? std::fopen(path.c_str(), "w") : nullptr;
   if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    SSAGG_LOG_ERROR("cannot write %s", path.c_str());
     return "";
   }
   std::string text = document.Dump(2);

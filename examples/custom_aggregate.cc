@@ -108,7 +108,7 @@ int main() {
   config.resizable = true;
   auto ht_res = GroupedAggregateHashTable::Create(bm, layout, config);
   if (!ht_res.ok()) {
-    std::fprintf(stderr, "%s\n", ht_res.status().ToString().c_str());
+    SSAGG_LOG_ERROR("%s", ht_res.status().ToString().c_str());
     return 1;
   }
   auto ht = ht_res.MoveValue();

@@ -50,7 +50,7 @@ int main() {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   if (!stats.ok()) {
-    std::fprintf(stderr, "failed: %s\n", stats.status().ToString().c_str());
+    SSAGG_LOG_ERROR("failed: %s", stats.status().ToString().c_str());
     return 1;
   }
   auto snap = bm.Snapshot();

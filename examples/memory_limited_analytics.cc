@@ -8,7 +8,10 @@
 // (spilling disabled), which aborts at exactly the point where ours starts
 // using the disk.
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "ssagg/ssagg.h"
 
@@ -57,16 +60,36 @@ int main() {
   std::printf("%10s | %12s %10s %12s | %12s\n", "limit", "robust s",
               "spilled", "temp peak", "in-memory-only");
   for (idx_t limit_mb : {512, 256, 128, 96, 64}) {
-    // Robust: spilling allowed.
+    // Robust: spilling allowed. A QueryProgress handle makes the run
+    // observable from outside: a poller thread shows a live status line
+    // (phase + completion fraction) without touching the query threads.
     BufferManager bm("/tmp/ssagg_mla", limit_mb << 20);
     auto events = MakeEvents();
     CountingCollector sink;
+    QueryProgress progress;
+    std::atomic<bool> done{false};
+    std::thread poller([&]() {
+      while (!done.load(std::memory_order_relaxed)) {
+        QueryProgress::Snapshot live = progress.Poll();
+        std::fprintf(stderr, "\r%7llu MB | %-7s %3.0f%% spilled %llu MiB   ",
+                     static_cast<unsigned long long>(limit_mb),
+                     QueryProgress::PhaseName(live.phase),
+                     live.Fraction() * 100.0,
+                     static_cast<unsigned long long>(live.bytes_spilled >>
+                                                     20));
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+      std::fprintf(stderr, "\r%60s\r", "");
+    });
     auto t0 = std::chrono::steady_clock::now();
     auto stats = RunGroupedAggregation(bm, events, group_columns, aggregates,
-                                       sink, executor, config);
+                                       sink, executor, config,
+                                       /*profile=*/nullptr, &progress);
     double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
+    done.store(true);
+    poller.join();
     auto snap = bm.Snapshot();
 
     // In-memory-only engine model: same engine, spilling forbidden.

@@ -17,7 +17,7 @@ int main() {
   // 1. Create a database file and a table in it.
   auto block_mgr_res = FileBlockManager::Create(dir + "/shop.db");
   if (!block_mgr_res.ok()) {
-    std::fprintf(stderr, "%s\n", block_mgr_res.status().ToString().c_str());
+    SSAGG_LOG_ERROR("%s", block_mgr_res.status().ToString().c_str());
     return 1;
   }
   auto block_mgr = block_mgr_res.MoveValue();
@@ -76,8 +76,7 @@ int main() {
        {AggregateKind::kCountStar, kInvalidIndex}},
       result, executor, config);
   if (!stats.ok()) {
-    std::fprintf(stderr, "query failed: %s\n",
-                 stats.status().ToString().c_str());
+    SSAGG_LOG_ERROR("query failed: %s", stats.status().ToString().c_str());
     return 1;
   }
   std::printf("%-12s %12s %10s %10s\n", "category", "units", "avg price",

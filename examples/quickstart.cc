@@ -56,8 +56,7 @@ int main() {
   auto stats = RunGroupedAggregation(buffer_manager, orders, group_columns,
                                      aggregates, result, executor);
   if (!stats.ok()) {
-    std::fprintf(stderr, "query failed: %s\n",
-                 stats.status().ToString().c_str());
+    SSAGG_LOG_ERROR("query failed: %s", stats.status().ToString().c_str());
     return 1;
   }
 

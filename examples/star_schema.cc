@@ -63,7 +63,7 @@ int main() {
     st = executor.RunPipeline(fact, join->probe_sink());
   }
   if (!st.ok()) {
-    std::fprintf(stderr, "join build failed: %s\n", st.ToString().c_str());
+    SSAGG_LOG_ERROR("join build failed: %s", st.ToString().c_str());
     return 1;
   }
 
@@ -76,13 +76,13 @@ int main() {
   // The join's result chunks flow directly into the aggregation sink.
   st = join->EmitResults(*agg, executor);
   if (!st.ok()) {
-    std::fprintf(stderr, "join failed: %s\n", st.ToString().c_str());
+    SSAGG_LOG_ERROR("join failed: %s", st.ToString().c_str());
     return 1;
   }
   MaterializedCollector result;
   st = agg->EmitResults(result, executor);
   if (!st.ok()) {
-    std::fprintf(stderr, "aggregation failed: %s\n", st.ToString().c_str());
+    SSAGG_LOG_ERROR("aggregation failed: %s", st.ToString().c_str());
     return 1;
   }
 

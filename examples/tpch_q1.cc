@@ -71,8 +71,7 @@ int main() {
        {AggregateKind::kCountStar, kInvalidIndex}},
       result, executor);
   if (!stats.ok()) {
-    std::fprintf(stderr, "Q1 failed: %s\n",
-                 stats.status().ToString().c_str());
+    SSAGG_LOG_ERROR("Q1 failed: %s", stats.status().ToString().c_str());
     return 1;
   }
   std::printf("%-4s %-4s %14s %18s %10s %14s %8s %10s\n", "rf", "ls",

@@ -5,8 +5,14 @@ Usage: scripts/bench_report.py OLD.json NEW.json [--threshold PCT]
 
 Walks both documents, pairs every numeric leaf by its JSON path, and prints
 the ones that moved by more than --threshold percent (default 2), plus any
-path present on only one side. Exit code 0 always — the report is
-informational; gate on it in review, not in CI.
+path present on only one side. Exit code 0 by default — the report is
+informational.
+
+With --fail-above PCT the report becomes a gate: exit code 2 when any
+shared numeric leaf moved by more than PCT percent in either direction
+(CI uses this to catch silent perf/behavior drift between paired runs of
+the same bench; missing-on-one-side paths stay informational since benches
+legitimately grow new counters).
 
 Works on any file bench::WriteResultsJson produces: the envelope is
 {"bench", "options", ...payload...} and QueryProfile counters are flat
@@ -38,6 +44,10 @@ def main():
     parser.add_argument("new")
     parser.add_argument("--threshold", type=float, default=2.0,
                         help="report changes above this percentage")
+    parser.add_argument("--fail-above", type=float, default=None,
+                        metavar="PCT",
+                        help="exit 2 if any shared numeric leaf moved by "
+                             "more than PCT percent")
     args = parser.parse_args()
 
     try:
@@ -71,6 +81,10 @@ def main():
     bench = new_doc.get("bench", "?")
     print(f"bench: {bench}   {args.old} -> {args.new}   "
           f"threshold {args.threshold:g}%")
+    failures = []
+    if args.fail_above is not None:
+        failures = sorted((c for c in changed if abs(c[3]) > args.fail_above),
+                          key=lambda c: -abs(c[3]))
     if not changed and not only_old and not only_new:
         print("no differences above threshold")
         return 0
@@ -91,6 +105,11 @@ def main():
                 print(f"  {path}")
             if len(paths) > 20:
                 print(f"  ... and {len(paths) - 20} more")
+    if failures:
+        print(f"\nFAIL: {len(failures)} value(s) moved more than "
+              f"{args.fail_above:g}% (largest: {failures[0][0]} "
+              f"{failures[0][3]:+.1f}%)", file=sys.stderr)
+        return 2
     return 0
 
 

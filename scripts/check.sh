@@ -30,8 +30,14 @@
 # central merge for a handful of groups and the radix plan for ~1M groups
 # (DESIGN.md section 11), with its decision visible in the profile JSON.
 #
+# The plain build also runs an observe smoke step (DESIGN.md section 12):
+# a spilling query must surface nonzero spill-latency percentiles in its
+# profile histograms, and a fault-injection run under SSAGG_FLIGHT_DUMP
+# must leave flight-recorder dumps that parse as Chrome trace JSON.
+#
 # Usage: scripts/check.sh
-#   [--asan-only|--plain-only|--tsan-only|--spill-io-only|--strategy-only]
+#   [--asan-only|--plain-only|--tsan-only|--spill-io-only|--strategy-only|
+#    --observe-only]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -161,8 +167,65 @@ EOF
   rm -rf "$work"
 }
 
+observe_smoke() {
+  local dir="$1"
+  echo "=== observe smoke (latency histograms + flight dumps) ==="
+  local work
+  work=$(mktemp -d)
+  # The spilling query's profile must carry the new latency histograms with
+  # nonzero tails (p99 spill-write latency is the headline number).
+  (cd "$work" && SSAGG_BENCH_MEMORY_MB=64 SSAGG_BENCH_THREADS=2 \
+      SSAGG_BENCH_TMPDIR="$work/tmp" \
+      "$OLDPWD/$dir/bench/bench_single_query" 16 wide 13 du)
+  python3 - "$work/results/bench_single_query.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+profile = doc["result"]["profile"]
+hists = profile.get("histograms", {})
+for key in ("io.spill_write_latency_ns", "io.spill_read_latency_ns",
+            "query.latency_ns", "exec.morsel_sink_ns"):
+    assert key in hists, f"missing histogram {key}: {sorted(hists)}"
+    assert hists[key]["count"] > 0, (key, hists[key])
+    assert hists[key]["p50"] <= hists[key]["p99"] <= hists[key]["max"], \
+        (key, hists[key])
+p99 = hists["io.spill_write_latency_ns"]["p99"]
+assert p99 > 0, hists["io.spill_write_latency_ns"]
+print(f"observe smoke ok: spill write p99 {p99} ns, "
+      f"{len(hists)} histograms in the profile")
+EOF
+  # Injected faults must leave flight-recorder dumps behind, and every dump
+  # must be valid Chrome trace JSON carrying real events.
+  mkdir "$work/flight"
+  SSAGG_FLIGHT_DUMP="$work/flight" "$dir/tests/ssagg_tests" \
+      --gtest_filter='FaultSweepTest.*' >/dev/null
+  python3 - "$work/flight" <<'EOF'
+import glob, json, sys
+dumps = sorted(glob.glob(sys.argv[1] + "/ssagg_flight_*.json"))
+assert dumps, "fault sweep under SSAGG_FLIGHT_DUMP produced no flight dumps"
+events = 0
+for path in dumps:
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc.get("flightReason"), f"{path}: missing flightReason"
+    assert isinstance(doc.get("traceEvents"), list), path
+    for e in doc["traceEvents"]:
+        assert "name" in e and "ph" in e and "ts" in e and "tid" in e, e
+    events += len(doc["traceEvents"])
+assert events > 0, "flight dumps carried no events"
+print(f"observe smoke ok: {len(dumps)} flight dumps, {events} events")
+EOF
+  rm -rf "$work"
+}
+
 if [[ "$MODE" == "--spill-io-only" ]]; then
   spill_io_smoke build
+  echo "all checks passed"
+  exit 0
+fi
+
+if [[ "$MODE" == "--observe-only" ]]; then
+  observe_smoke build
   echo "all checks passed"
   exit 0
 fi
@@ -179,6 +242,7 @@ if [[ "$MODE" != "--asan-only" && "$MODE" != "--tsan-only" ]]; then
   profile_smoke build
   spill_io_smoke build
   strategy_smoke build
+  observe_smoke build
 fi
 
 fault_sweep_smoke() {

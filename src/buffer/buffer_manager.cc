@@ -104,6 +104,8 @@ BufferManager::BufferManager(std::string temp_directory, idx_t memory_limit,
       registry.KeyId("bm.evictions_temporary_destroyed");
   key_buffer_reuse_ = registry.KeyId("bm.buffer_reuse_hits");
   key_oom_rejections_ = registry.KeyId("bm.oom_rejections");
+  hist_pin_wait_ = registry.HistogramId("bm.pin_wait_ns");
+  hist_evict_select_ = registry.HistogramId("bm.evict_select_ns");
 }
 
 BufferManager::~BufferManager() {
@@ -174,6 +176,23 @@ BufferManager::EvictBlocks(idx_t reuse_size) SSAGG_NO_THREAD_SAFETY_ANALYSIS {
     std::atomic<idx_t> &count;
     ~InFlightGuard() { count.fetch_sub(1, std::memory_order_acq_rel); }
   } in_flight_guard{evictions_in_flight_};
+
+  // Victim-selection time: queue scanning and try-lock churn up to the
+  // point a decision is made (spill, drop, or give up) — the write itself
+  // is excluded; the spill histograms cover that.
+  auto select_start = std::chrono::steady_clock::now();
+  bool selection_recorded = false;
+  auto record_selection = [&]() {
+    if (selection_recorded) {
+      return;
+    }
+    selection_recorded = true;
+    auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - select_start)
+                  .count();
+    MetricsRegistry::Global().Record(hist_evict_select_,
+                                     static_cast<uint64_t>(ns));
+  };
 
   // Fixed-size spill candidates whose lock_ this function currently holds.
   std::vector<std::shared_ptr<BlockHandle>> batch;
@@ -289,6 +308,7 @@ BufferManager::EvictBlocks(idx_t reuse_size) SSAGG_NO_THREAD_SAFETY_ANALYSIS {
       if (!batch.empty()) {
         // The queues ran dry while gathering a batch; what we have is
         // enough to satisfy the reservation.
+        record_selection();
         return flush();
       }
       if (evictions_in_flight_.load(std::memory_order_acquire) > 1) {
@@ -297,10 +317,12 @@ BufferManager::EvictBlocks(idx_t reuse_size) SSAGG_NO_THREAD_SAFETY_ANALYSIS {
         // free their memory or to be re-enqueued. Back off and let
         // ReserveMemory retry.
         std::this_thread::yield();
+        record_selection();
         return std::unique_ptr<FileBuffer>(nullptr);
       }
       oom_rejections_.fetch_add(1, std::memory_order_relaxed);
       MetricsRegistry::Global().Add(key_oom_rejections_, 1);
+      record_selection();
       TraceRecorder::Global().EmitInstant("oom_rejection", "bm");
       SSAGG_LOG_INFO(
           "reservation rejected: memory limit %llu exceeded (%llu used) and "
@@ -340,6 +362,7 @@ BufferManager::EvictBlocks(idx_t reuse_size) SSAGG_NO_THREAD_SAFETY_ANALYSIS {
       // reproduces the pre-batching one-write-per-eviction schedule.
       batch.push_back(std::move(candidate));
       if (batch.size() >= spill_batch_) {
+        record_selection();
         return flush();
       }
       continue;
@@ -350,8 +373,10 @@ BufferManager::EvictBlocks(idx_t reuse_size) SSAGG_NO_THREAD_SAFETY_ANALYSIS {
     if (!batch.empty()) {
       candidate->lock_.unlock();
       enqueue(candidate, entry_seq, /*front=*/true);
+      record_selection();
       return flush();
     }
+    record_selection();
     if (kind == BlockKind::kPersistent) {
       // Contents are replicated in the database file: dropping is free.
       evicted_persistent_count_.fetch_add(1, std::memory_order_relaxed);
@@ -470,12 +495,12 @@ Result<BufferHandle> BufferManager::Pin(
     handle->load_cv_.Wait(handle->lock_, [&]() SSAGG_REQUIRES(handle->lock_) {
       return handle->state_ != BlockState::kLoading;
     });
-    load_wait_ns_.fetch_add(
-        static_cast<uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(
-                std::chrono::steady_clock::now() - wait_start)
-                .count()),
-        std::memory_order_relaxed);
+    auto waited_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wait_start)
+            .count());
+    load_wait_ns_.fetch_add(waited_ns, std::memory_order_relaxed);
+    MetricsRegistry::Global().Record(hist_pin_wait_, waited_ns);
     if (handle->destroyed_) {
       return Status::Aborted("pin of a destroyed block");
     }

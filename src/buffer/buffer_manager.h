@@ -343,6 +343,11 @@ class BufferManager {
   idx_t key_evict_temp_destroyed_;
   idx_t key_buffer_reuse_;
   idx_t key_oom_rejections_;
+  /// Histogram ids: time Pin() blocked on an in-flight load, and time
+  /// EvictBlocks spent selecting victims (scan + try-lock churn, excluding
+  /// the spill write itself).
+  idx_t hist_pin_wait_;
+  idx_t hist_evict_select_;
 };
 
 }  // namespace ssagg

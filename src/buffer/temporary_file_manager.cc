@@ -48,6 +48,7 @@ TemporaryFileManager::TemporaryFileManager(std::string directory,
   key_spill_coalesced_pages_ = registry.KeyId("io.spill_coalesced_pages");
   key_spill_write_ns_ = registry.KeyId("io.spill_write_ns");
   key_spill_read_ns_ = registry.KeyId("io.spill_read_ns");
+  hist_spill_read_latency_ = registry.HistogramId("io.spill_read_latency_ns");
 }
 
 TemporaryFileManager::~TemporaryFileManager() {
@@ -339,6 +340,9 @@ Status TemporaryFileManager::ReadFixedBlock(idx_t slot, FileBuffer &buffer) {
     read_count_++;
   }
   RecordRead(bytes, ns);
+  // Demand read: did not go through the async backend, so record its
+  // latency here (the query thread was blocked for all of it).
+  MetricsRegistry::Global().Record(hist_spill_read_latency_, ns);
   return Status::OK();
 }
 
@@ -534,6 +538,8 @@ Status TemporaryFileManager::ReadVariableBlock(block_id_t id,
     read_count_++;
   }
   RecordRead(info.stored_size, ns);
+  // Direct read (no backend Submit): record the blocked latency here.
+  MetricsRegistry::Global().Record(hist_spill_read_latency_, ns);
   return Status::OK();
 }
 

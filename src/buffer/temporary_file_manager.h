@@ -212,6 +212,10 @@ class TemporaryFileManager {
   idx_t key_spill_coalesced_pages_;
   idx_t key_spill_write_ns_;
   idx_t key_spill_read_ns_;
+  /// Read-latency histogram id for demand reads, which bypass the async
+  /// backend (the backend records its own submit-to-completion latency for
+  /// everything routed through Submit).
+  idx_t hist_spill_read_latency_;
 };
 
 }  // namespace ssagg

@@ -1,6 +1,7 @@
 #include "common/async_io.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
@@ -92,6 +93,8 @@ struct IoMetricKeys {
   idx_t submit_failed;
   idx_t depth_integral;  // sum over submits of the in-flight count: divide
                          // by io.async_submitted for the mean queue depth
+  idx_t write_latency_hist;  // submit-to-completion, nanoseconds
+  idx_t read_latency_hist;
 
   IoMetricKeys() {
     MetricsRegistry &registry = MetricsRegistry::Global();
@@ -99,8 +102,26 @@ struct IoMetricKeys {
     completed = registry.KeyId("io.async_completed");
     submit_failed = registry.KeyId("io.async_submit_failed");
     depth_integral = registry.KeyId("io.async_depth_integral");
+    write_latency_hist = registry.HistogramId("io.spill_write_latency_ns");
+    read_latency_hist = registry.HistogramId("io.spill_read_latency_ns");
   }
 };
+
+using IoClock = std::chrono::steady_clock;
+
+/// Submit-to-completion latency of one request, into the per-direction
+/// histogram. Called on whatever thread completes the request; failed and
+/// injected-failure completions are recorded too — a stall is a stall.
+void RecordIoLatency(const IoMetricKeys &keys, IoRequest::Kind kind,
+                     IoClock::time_point submit_time) {
+  auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                IoClock::now() - submit_time)
+                .count();
+  MetricsRegistry::Global().Record(kind == IoRequest::Kind::kRead
+                                       ? keys.read_latency_hist
+                                       : keys.write_latency_hist,
+                                   static_cast<uint64_t>(ns));
+}
 
 //===----------------------------------------------------------------------===//
 // SyncIoBackend
@@ -112,6 +133,7 @@ struct IoMetricKeys {
 class SyncIoBackend final : public AsyncIoBackend {
  public:
   IoCompletionPtr Submit(IoRequest request) override {
+    IoClock::time_point submit_time = IoClock::now();
     auto completion = std::make_shared<IoCompletion>();
     MetricsRegistry::Global().Add(keys_.submitted, 1);
     Status status = HitSubmitSite();
@@ -127,6 +149,7 @@ class SyncIoBackend final : public AsyncIoBackend {
       MetricsRegistry::Global().Add(keys_.submit_failed, 1);
     }
     MetricsRegistry::Global().Add(keys_.completed, 1);
+    RecordIoLatency(keys_, request.kind, submit_time);
     if (request.on_complete) {
       request.on_complete(status);
     }
@@ -175,6 +198,7 @@ class ThreadPoolIoBackend final : public AsyncIoBackend {
   }
 
   IoCompletionPtr Submit(IoRequest request) override {
+    IoClock::time_point submit_time = IoClock::now();
     auto completion = std::make_shared<IoCompletion>();
     MetricsRegistry &registry = MetricsRegistry::Global();
     registry.Add(keys_.submitted, 1);
@@ -186,6 +210,7 @@ class ThreadPoolIoBackend final : public AsyncIoBackend {
       // queue, mirroring a kernel submission error.
       registry.Add(keys_.submit_failed, 1);
       registry.Add(keys_.completed, 1);
+      RecordIoLatency(keys_, request.kind, submit_time);
       if (request.on_complete) {
         request.on_complete(injected);
       }
@@ -195,7 +220,7 @@ class ThreadPoolIoBackend final : public AsyncIoBackend {
     in_flight_.fetch_add(1, std::memory_order_relaxed);
     {
       ScopedLock guard(lock_);
-      queue_.push_back(Item{std::move(request), completion});
+      queue_.push_back(Item{std::move(request), completion, submit_time});
     }
     work_cv_.NotifyOne();
     return completion;
@@ -216,6 +241,7 @@ class ThreadPoolIoBackend final : public AsyncIoBackend {
   struct Item {
     IoRequest request;
     IoCompletionPtr completion;
+    IoClock::time_point submit_time;
   };
 
   void WorkerLoop() {
@@ -245,6 +271,7 @@ class ThreadPoolIoBackend final : public AsyncIoBackend {
         status = HitCompleteSite();
       }
       MetricsRegistry::Global().Add(keys_.completed, 1);
+      RecordIoLatency(keys_, item.request.kind, item.submit_time);
       if (item.request.on_complete) {
         item.request.on_complete(status);
       }
@@ -377,6 +404,7 @@ class IoUringBackend final : public AsyncIoBackend {
       // sites itself — exactly once per request, like the ring path.
       return helper_->Submit(std::move(request));
     }
+    IoClock::time_point submit_time = IoClock::now();
     auto completion = std::make_shared<IoCompletion>();
     MetricsRegistry &registry = MetricsRegistry::Global();
     registry.Add(keys_.submitted, 1);
@@ -386,6 +414,7 @@ class IoUringBackend final : public AsyncIoBackend {
     if (!injected.ok()) {
       registry.Add(keys_.submit_failed, 1);
       registry.Add(keys_.completed, 1);
+      RecordIoLatency(keys_, request.kind, submit_time);
       if (request.on_complete) {
         request.on_complete(injected);
       }
@@ -397,10 +426,10 @@ class IoUringBackend final : public AsyncIoBackend {
         in_flight_.load(std::memory_order_relaxed) >= kMaxInFlight) {
       // Decorated handle (no kernel descriptor) or CQ nearly full: execute
       // inline through the virtual path.
-      CompleteInline(request, completion);
+      CompleteInline(request, completion, submit_time);
       return completion;
     }
-    auto *op = new Op{std::move(request), completion};
+    auto *op = new Op{std::move(request), completion, submit_time};
     in_flight_.fetch_add(1, std::memory_order_relaxed);
     uint8_t opcode = op->request.kind == IoRequest::Kind::kRead
                          ? IORING_OP_READ
@@ -411,7 +440,7 @@ class IoUringBackend final : public AsyncIoBackend {
       in_flight_.fetch_sub(1, std::memory_order_relaxed);
       IoRequest req = std::move(op->request);
       delete op;
-      CompleteInline(req, completion);
+      CompleteInline(req, completion, submit_time);
     }
     return completion;
   }
@@ -442,14 +471,17 @@ class IoUringBackend final : public AsyncIoBackend {
   struct Op {
     IoRequest request;
     IoCompletionPtr completion;
+    IoClock::time_point submit_time;
   };
 
-  void CompleteInline(IoRequest &request, const IoCompletionPtr &completion) {
+  void CompleteInline(IoRequest &request, const IoCompletionPtr &completion,
+                      IoClock::time_point submit_time) {
     Status status = Execute(request);
     if (status.ok()) {
       status = HitCompleteSite();
     }
     MetricsRegistry::Global().Add(keys_.completed, 1);
+    RecordIoLatency(keys_, request.kind, submit_time);
     if (request.on_complete) {
       request.on_complete(status);
     }
@@ -539,6 +571,7 @@ class IoUringBackend final : public AsyncIoBackend {
       status = HitCompleteSite();
     }
     MetricsRegistry::Global().Add(keys_.completed, 1);
+    RecordIoLatency(keys_, op->request.kind, op->submit_time);
     if (op->request.on_complete) {
       op->request.on_complete(status);
     }

@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "common/hash.h"
+#include "observe/flight_recorder.h"
 #include "observe/metrics.h"
 #include "observe/trace.h"
 
@@ -215,12 +216,19 @@ double RadixMergeCost(const PlannerInputs &in, const AggregateCostModel &m) {
           static_cast<double>(in.row_width_bytes);
   double seconds = Phase1ProbeSeconds(in, m, footprint);
   // Rows materialized into partitions: every thread emits each of its
-  // groups at least once; past the reset threshold the fixed table thrashes
-  // and re-materializes at the sampled rows-per-group rate.
+  // groups at least once; as the group set approaches and passes the reset
+  // threshold the fixed table starts thrashing and re-materializes at the
+  // sampled rows-per-group rate. The risk ramps in from half fill (LRU-less
+  // resets evict hot groups well before the table is nominally full) to
+  // full thrash at 1.5x fill, instead of the old all-or-nothing step at
+  // exactly fill_capacity that let borderline group counts score radix as
+  // thrash-free.
   double materialized = threads * in.estimated_groups;
-  if (in.estimated_groups > fill_capacity) {
-    materialized =
-        std::max(materialized, rows / std::max(1.0, in.reduction_ratio));
+  const double risk =
+      std::min(1.0, in.estimated_groups / fill_capacity - 0.5);
+  if (risk > 0.0) {
+    materialized = std::max(
+        materialized, risk * rows / std::max(1.0, in.reduction_ratio));
   }
   materialized = std::min(materialized, rows);
   const double partitions =
@@ -393,7 +401,12 @@ PlannerDecision AggregatePlanner::decision() const {
 }
 
 void AggregatePlanner::Demote() {
-  demoted_.store(true, std::memory_order_release);
+  if (!demoted_.exchange(true, std::memory_order_release)) {
+    // A demotion means the planner misestimated badly enough to abandon its
+    // plan mid-query — exactly the moment the recent event history is worth
+    // keeping (no-op unless SSAGG_FLIGHT_DUMP is configured).
+    (void)FlightRecorder::Global().DumpAnomaly("demotion");
+  }
 }
 
 bool AggregatePlanner::SpillPressure() {

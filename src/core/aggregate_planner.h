@@ -1,7 +1,9 @@
 #ifndef SSAGG_CORE_AGGREGATE_PLANNER_H_
 #define SSAGG_CORE_AGGREGATE_PLANNER_H_
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <optional>
 #include <string>
 
@@ -95,10 +97,27 @@ struct AggregateCostModel {
   /// Fixed cost of standing up one resizable merge table.
   double table_setup_ns = 20000.0;
 
+  /// Per-row probe cost as a function of footprint, interpolated linearly
+  /// in log2(bytes) between the anchors 256 KiB -> probe_l1_ns,
+  /// 4 MiB -> probe_l2_ns and 32 MiB -> probe_dram_ns (clamped outside).
+  /// The earlier step function had a cliff at exactly 4 MiB: a footprint of
+  /// 4.00 MiB (e.g. 100k sparse groups at 40-byte rows) still scored the
+  /// in-LLC rate while the real working set already spilled past it, so the
+  /// planner picked radix where central measured 2.4x faster (DESIGN.md
+  /// section 12's recalibration sweep).
   [[nodiscard]] double ProbeNs(double footprint_bytes) const {
-    if (footprint_bytes <= 256.0 * 1024) return probe_l1_ns;
-    if (footprint_bytes <= 4.0 * 1024 * 1024) return probe_l2_ns;
-    return probe_dram_ns;
+    constexpr double kL1Log2 = 18.0;    // 256 KiB
+    constexpr double kLlcLog2 = 22.0;   // 4 MiB
+    constexpr double kDramLog2 = 25.0;  // 32 MiB
+    const double lg = std::log2(std::max(1.0, footprint_bytes));
+    if (lg <= kL1Log2) return probe_l1_ns;
+    if (lg >= kDramLog2) return probe_dram_ns;
+    if (lg <= kLlcLog2) {
+      const double t = (lg - kL1Log2) / (kLlcLog2 - kL1Log2);
+      return probe_l1_ns + t * (probe_l2_ns - probe_l1_ns);
+    }
+    const double t = (lg - kLlcLog2) / (kDramLog2 - kLlcLog2);
+    return probe_l2_ns + t * (probe_dram_ns - probe_l2_ns);
   }
 };
 

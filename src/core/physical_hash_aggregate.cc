@@ -133,6 +133,7 @@ Status PhysicalHashAggregate::Sink(DataChunk &chunk, LocalSinkState &state) {
     }
     return MaybeEarlyAggregate(local);
   }
+  PublishPlannerEstimate();
 
   const AggregateStrategy strategy = planner_->EffectiveStrategy();
   if (strategy == AggregateStrategy::kCentralMerge ||
@@ -162,6 +163,20 @@ Status PhysicalHashAggregate::Sink(DataChunk &chunk, LocalSinkState &state) {
     local.ht->ClearPointerTable();
   }
   return MaybeEarlyAggregate(local);
+}
+
+void PhysicalHashAggregate::PublishPlannerEstimate() {
+  if (progress_groups_published_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  QueryProgress *progress = progress_.load(std::memory_order_acquire);
+  if (progress == nullptr || !planner_->decided()) {
+    return;
+  }
+  if (!progress_groups_published_.exchange(true,
+                                           std::memory_order_relaxed)) {
+    progress->SetEstimatedGroups(planner_->decision().estimated_groups);
+  }
 }
 
 Status PhysicalHashAggregate::TransitionLocal(LocalState &local) {

@@ -1,6 +1,7 @@
 #ifndef SSAGG_CORE_PHYSICAL_HASH_AGGREGATE_H_
 #define SSAGG_CORE_PHYSICAL_HASH_AGGREGATE_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "core/grouped_aggregate_hash_table.h"
 #include "execution/operator.h"
 #include "execution/task_executor.h"
+#include "observe/progress.h"
 
 namespace ssagg {
 
@@ -129,6 +131,13 @@ class PhysicalHashAggregate : public DataSink {
   /// The per-query planner (decision, sampling overhead, demotion state).
   [[nodiscard]] const AggregatePlanner &planner() const { return *planner_; }
 
+  /// Arms live introspection: once the planner commits, its group estimate
+  /// (D-hat) is published into `progress` from the first post-decision
+  /// Sink. The handle must outlive the operator; may be null.
+  void SetProgress(QueryProgress *progress) {
+    progress_.store(progress, std::memory_order_release);
+  }
+
  private:
   PhysicalHashAggregate(BufferManager &buffer_manager,
                         std::vector<LogicalTypeId> input_types,
@@ -171,6 +180,11 @@ class PhysicalHashAggregate : public DataSink {
   /// Misestimate fallback: retires the thread's merge table (its rows join
   /// the radix exchange at Combine) and resumes with a fixed table.
   Status DemoteLocal(LocalState &local);
+
+  /// One-shot publication of the planner's group estimate into progress_
+  /// (first thread past the decision wins; later calls are one relaxed
+  /// load).
+  void PublishPlannerEstimate();
 
   /// Runs the early-aggregation policy checks and compacts if they pass.
   Status MaybeEarlyAggregate(LocalState &local);
@@ -226,6 +240,9 @@ class PhysicalHashAggregate : public DataSink {
   /// Input column of the single int64 group key when the layout admits the
   /// direct-index fast path; kInvalidIndex otherwise.
   idx_t direct_key_column_ = kInvalidIndex;
+  /// Live introspection handle (optional, set by RunGroupedAggregation).
+  std::atomic<QueryProgress *> progress_{nullptr};
+  std::atomic<bool> progress_groups_published_{false};
 
   mutable Mutex lock_;
   /// All thread-local materialized partitions, merged partition-wise at

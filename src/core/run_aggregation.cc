@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "observe/flight_recorder.h"
 #include "observe/trace.h"
 
 namespace ssagg {
@@ -51,7 +52,7 @@ Result<HashAggregateStats> RunGroupedAggregation(
     const std::vector<idx_t> &group_columns,
     const std::vector<AggregateRequest> &aggregates, DataSink &output,
     TaskExecutor &executor, HashAggregateConfig config,
-    QueryProfile *profile) {
+    QueryProfile *profile, QueryProgress *progress) {
   if (config.expected_input_rows == kInvalidIndex) {
     // The planner extrapolates its sampled distinct count with this.
     config.expected_input_rows = source.EstimatedRowCount();
@@ -60,23 +61,57 @@ Result<HashAggregateStats> RunGroupedAggregation(
       auto agg, PhysicalHashAggregate::Create(buffer_manager, source.Types(),
                                               group_columns, aggregates,
                                               config));
+  if (progress != nullptr) {
+    progress->BeginQuery(config.expected_input_rows == kInvalidIndex
+                             ? 0
+                             : config.expected_input_rows);
+    agg->SetProgress(progress);
+  }
   // Per-query attribution against the cumulative process-wide registry and
   // executor counters: snapshot before, subtract after.
   RegistryDelta delta;
   ExecutorStats exec_before = executor.stats();
+  static const idx_t query_latency_hist =
+      MetricsRegistry::Global().HistogramId("query.latency_ns");
 
   TraceSpan query_span("query", "agg");
   auto t0 = std::chrono::steady_clock::now();
+  Status status;
   {
     TraceSpan span("phase1", "agg");
-    SSAGG_RETURN_NOT_OK(executor.RunPipeline(source, *agg));
+    if (progress != nullptr) {
+      progress->AdvancePhase(QueryProgress::Phase::kPhase1);
+    }
+    status = executor.RunPipeline(source, *agg, progress);
   }
   auto t1 = std::chrono::steady_clock::now();
-  {
+  if (status.ok()) {
     TraceSpan span("phase2", "agg");
-    SSAGG_RETURN_NOT_OK(agg->EmitResults(output, executor));
+    if (progress != nullptr) {
+      progress->AdvancePhase(QueryProgress::Phase::kPhase2);
+    }
+    status = agg->EmitResults(output, executor);
   }
   auto t2 = std::chrono::steady_clock::now();
+  // End-to-end latency, recorded for failed queries too: a tail outlier
+  // that errored out is exactly the sample an operator wants to see.
+  MetricsRegistry::Global().Record(
+      query_latency_hist,
+      static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t2 - t0)
+              .count()));
+  if (!status.ok()) {
+    if (progress != nullptr) {
+      progress->Finish(/*ok=*/false);
+    }
+    // Black-box dump: preserve the last trace events leading up to the
+    // failure (no-op unless SSAGG_FLIGHT_DUMP is configured).
+    (void)FlightRecorder::Global().DumpAnomaly("query_error");
+    if (TraceRecorder::Global().enabled()) {
+      (void)TraceRecorder::Global().Flush();
+    }
+    return status;
+  }
   HashAggregateStats stats = agg->stats();
   stats.phase1_seconds = std::chrono::duration<double>(t1 - t0).count();
   stats.phase2_seconds = std::chrono::duration<double>(t2 - t0).count() -
@@ -105,6 +140,9 @@ Result<HashAggregateStats> RunGroupedAggregation(
     profile->AddCounter("bm.temp_file_peak", snapshot.temp_file_peak);
     profile->AddTiming("io.spill_write_seconds", snapshot.spill_write_seconds);
     profile->AddTiming("io.spill_read_seconds", snapshot.spill_read_seconds);
+  }
+  if (progress != nullptr) {
+    progress->Finish(/*ok=*/true);
   }
   // Make partial traces useful: persist what we have after every query.
   if (TraceRecorder::Global().enabled()) {

@@ -9,6 +9,7 @@
 #include "execution/operator.h"
 #include "execution/task_executor.h"
 #include "observe/profile.h"
+#include "observe/progress.h"
 
 namespace ssagg {
 
@@ -19,15 +20,23 @@ namespace ssagg {
 ///
 /// When `profile` is non-null it is filled with the query's observability
 /// snapshot: phase timings, operator counters ("agg.*"), executor counters
-/// and timings ("exec.*"), and the growth the query caused in the global
-/// metrics registry ("bm.*", "io.*", ...). If SSAGG_TRACE is set, the trace
-/// file is flushed after the query.
+/// and timings ("exec.*"), the growth the query caused in the global
+/// metrics registry ("bm.*", "io.*", ...), and per-query latency
+/// histograms. If SSAGG_TRACE is set, the trace file is flushed after the
+/// query.
+///
+/// When `progress` is non-null it is armed before execution and fed live:
+/// another thread may Poll() it at any point for phase, rows consumed, the
+/// planner's group estimate, spill bytes and latency histograms. The
+/// end-to-end latency lands in the "query.latency_ns" histogram, and an
+/// error Status triggers a flight-recorder anomaly dump (when
+/// SSAGG_FLIGHT_DUMP is configured).
 Result<HashAggregateStats> RunGroupedAggregation(
     BufferManager &buffer_manager, DataSource &source,
     const std::vector<idx_t> &group_columns,
     const std::vector<AggregateRequest> &aggregates, DataSink &output,
     TaskExecutor &executor, HashAggregateConfig config = {},
-    QueryProfile *profile = nullptr);
+    QueryProfile *profile = nullptr, QueryProgress *progress = nullptr);
 
 /// Flattens operator stats into a profile's "agg.*" counters (shared by
 /// RunGroupedAggregation and benches that drive the operator directly).

@@ -67,6 +67,7 @@ TaskExecutor::TaskExecutor(idx_t num_threads) : num_threads_(num_threads) {
   key_source_ns_ = registry.KeyId("exec.source_ns");
   key_sink_ns_ = registry.KeyId("exec.sink_ns");
   key_combine_ns_ = registry.KeyId("exec.combine_ns");
+  hist_morsel_sink_ = registry.HistogramId("exec.morsel_sink_ns");
 }
 
 void TaskExecutor::SetDeadline(double seconds_from_now) {
@@ -110,7 +111,8 @@ void TaskExecutor::AccumulateWorker(const ExecutorStats &local) {
                static_cast<uint64_t>(local.combine_seconds * 1e9));
 }
 
-Status TaskExecutor::RunPipeline(DataSource &source, DataSink &sink) {
+Status TaskExecutor::RunPipeline(DataSource &source, DataSink &sink,
+                                 QueryProgress *progress) {
   TraceSpan pipeline_span("pipeline", "exec");
   ErrorCollector errors;
   auto worker = [&]() {
@@ -158,7 +160,17 @@ Status TaskExecutor::RunPipeline(DataSource &source, DataSink &sink) {
       local.rows += chunk.size();
       auto sink_start = Clock::now();
       Status st = sink.Sink(chunk, *lsink.value());
-      local.sink_seconds += SecondsSince(sink_start);
+      auto sink_elapsed = Clock::now() - sink_start;
+      local.sink_seconds += std::chrono::duration<double>(sink_elapsed).count();
+      MetricsRegistry::Global().Record(
+          hist_morsel_sink_,
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  sink_elapsed)
+                  .count()));
+      if (progress != nullptr) {
+        progress->AddRows(chunk.size());
+      }
       if (!st.ok()) {
         errors.Set(st);
         break;

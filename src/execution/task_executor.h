@@ -8,6 +8,7 @@
 #include "common/mutex.h"
 #include "common/status.h"
 #include "execution/operator.h"
+#include "observe/progress.h"
 
 namespace ssagg {
 
@@ -49,7 +50,10 @@ class TaskExecutor {
 
   /// Executes one pipeline: every worker repeatedly pulls a chunk from the
   /// source and pushes it into the sink, then combines its local state.
-  Status RunPipeline(DataSource &source, DataSink &sink);
+  /// When `progress` is given, each worker publishes its consumed rows into
+  /// it per chunk (one relaxed fetch_add — pollable live from any thread).
+  Status RunPipeline(DataSource &source, DataSink &sink,
+                     QueryProgress *progress = nullptr);
 
   /// Runs independent tasks in parallel, each at most once; tasks are
   /// claimed through an atomic counter (used for partition-wise phase 2).
@@ -90,6 +94,8 @@ class TaskExecutor {
   idx_t key_source_ns_;
   idx_t key_sink_ns_;
   idx_t key_combine_ns_;
+  /// Per-morsel Sink() duration histogram ("exec.morsel_sink_ns").
+  idx_t hist_morsel_sink_;
 };
 
 }  // namespace ssagg

@@ -21,6 +21,19 @@ Json QueryProfile::ToJson() const {
     timing_obj.Set(entry.first, entry.second);
   }
   doc.Set("timings", std::move(timing_obj));
+  if (!histograms.empty()) {
+    Json hist_obj = Json::Object();
+    for (const auto &[key, hist] : histograms) {
+      Json h = Json::Object();
+      h.Set("count", hist.count);
+      h.Set("p50", hist.Percentile(0.50));
+      h.Set("p90", hist.Percentile(0.90));
+      h.Set("p99", hist.Percentile(0.99));
+      h.Set("max", hist.max);
+      hist_obj.Set(key, std::move(h));
+    }
+    doc.Set("histograms", std::move(hist_obj));
+  }
   return doc;
 }
 
@@ -31,6 +44,16 @@ void RegistryDelta::AddTo(QueryProfile &profile) const {
     uint64_t before = it == begin_.end() ? 0 : it->second;
     if (entry.second > before) {
       profile.AddCounter(entry.first, entry.second - before);
+    }
+  }
+  auto hist_now = registry_.HistogramSnapshots();
+  for (auto &[key, hist] : hist_now) {
+    auto it = hist_begin_.find(key);
+    if (it != hist_begin_.end()) {
+      hist.Subtract(it->second);
+    }
+    if (hist.count > 0) {
+      profile.histograms[key].Merge(hist);
     }
   }
 }

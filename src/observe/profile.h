@@ -28,6 +28,9 @@ struct QueryProfile {
 
   std::map<std::string, uint64_t> counters;
   std::map<std::string, double> timings;  // seconds, e.g. "exec.busy_seconds"
+  /// Per-query latency distributions (spill I/O, pin waits, morsel sinks,
+  /// ...); ToJson emits count/p50/p90/p99/max per key under "histograms".
+  std::map<std::string, HistogramSnapshot> histograms;
 
   void AddCounter(const std::string &key, uint64_t value) {
     counters[key] += value;
@@ -49,14 +52,19 @@ struct QueryProfile {
 class RegistryDelta {
  public:
   explicit RegistryDelta(MetricsRegistry &registry = MetricsRegistry::Global())
-      : registry_(registry), begin_(registry.Snapshot()) {}
+      : registry_(registry),
+        begin_(registry.Snapshot()),
+        hist_begin_(registry.HistogramSnapshots()) {}
 
-  /// Adds each key's growth since construction to `profile.counters`.
+  /// Adds each counter key's growth since construction to
+  /// `profile.counters`, and each histogram's delta (buckets/count/sum
+  /// subtracted; max taken as-is) to `profile.histograms`.
   void AddTo(QueryProfile &profile) const;
 
  private:
   MetricsRegistry &registry_;
   std::map<std::string, uint64_t> begin_;
+  std::map<std::string, HistogramSnapshot> hist_begin_;
 };
 
 }  // namespace ssagg

@@ -1,0 +1,104 @@
+#include "observe/progress.h"
+
+namespace ssagg {
+
+const char *QueryProgress::PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kPending:
+      return "pending";
+    case Phase::kPhase1:
+      return "phase1";
+    case Phase::kPhase2:
+      return "phase2";
+    case Phase::kDone:
+      return "done";
+    case Phase::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+void QueryProgress::BeginQuery(uint64_t estimated_total_rows) {
+  MetricsRegistry &registry = MetricsRegistry::Global();
+  uint64_t spill = registry.Value("io.spill_bytes_written");
+  auto histograms = registry.HistogramSnapshots();
+  {
+    ScopedLock guard(lock_);
+    begun_ = true;
+    spill_baseline_ = spill;
+    hist_baseline_ = std::move(histograms);
+  }
+  rows_.store(0, std::memory_order_relaxed);
+  estimated_groups_.store(0, std::memory_order_relaxed);
+  estimated_total_rows_.store(estimated_total_rows,
+                              std::memory_order_relaxed);
+  phase_.store(static_cast<uint8_t>(Phase::kPending),
+               std::memory_order_relaxed);
+}
+
+void QueryProgress::AdvancePhase(Phase phase) {
+  auto target = static_cast<uint8_t>(phase);
+  uint8_t current = phase_.load(std::memory_order_relaxed);
+  while (current < target && !phase_.compare_exchange_weak(
+                                 current, target, std::memory_order_relaxed)) {
+  }
+}
+
+void QueryProgress::Finish(bool ok) {
+  AdvancePhase(ok ? Phase::kDone : Phase::kFailed);
+}
+
+QueryProgress::Snapshot QueryProgress::Poll() const {
+  Snapshot snap;
+  snap.phase = static_cast<Phase>(phase_.load(std::memory_order_relaxed));
+  snap.rows_consumed = rows_.load(std::memory_order_relaxed);
+  snap.estimated_total_rows =
+      estimated_total_rows_.load(std::memory_order_relaxed);
+  snap.estimated_groups = estimated_groups_.load(std::memory_order_relaxed);
+
+  MetricsRegistry &registry = MetricsRegistry::Global();
+  uint64_t spill_now = registry.Value("io.spill_bytes_written");
+  auto hist_now = registry.HistogramSnapshots();
+  {
+    ScopedLock guard(lock_);
+    if (!begun_) {
+      return snap;
+    }
+    snap.bytes_spilled =
+        spill_now > spill_baseline_ ? spill_now - spill_baseline_ : 0;
+    for (auto &[key, hist] : hist_now) {
+      auto it = hist_baseline_.find(key);
+      if (it != hist_baseline_.end()) {
+        hist.Subtract(it->second);
+      }
+      if (hist.count > 0) {
+        snap.histograms.emplace(key, hist);
+      }
+    }
+  }
+  return snap;
+}
+
+Json QueryProgress::Snapshot::ToJson() const {
+  Json doc = Json::Object();
+  doc.Set("phase", PhaseName(phase));
+  doc.Set("rows_consumed", rows_consumed);
+  doc.Set("estimated_total_rows", estimated_total_rows);
+  doc.Set("estimated_groups", estimated_groups);
+  doc.Set("bytes_spilled", bytes_spilled);
+  doc.Set("fraction", Fraction());
+  Json hists = Json::Object();
+  for (const auto &[key, hist] : histograms) {
+    Json h = Json::Object();
+    h.Set("count", hist.count);
+    h.Set("p50", hist.Percentile(0.50));
+    h.Set("p90", hist.Percentile(0.90));
+    h.Set("p99", hist.Percentile(0.99));
+    h.Set("max", hist.max);
+    hists.Set(key, std::move(h));
+  }
+  doc.Set("histograms", std::move(hists));
+  return doc;
+}
+
+}  // namespace ssagg

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <thread>
 
+#include "observe/flight_recorder.h"
+
 namespace ssagg {
 
 TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
@@ -57,6 +59,10 @@ void TraceRecorder::Push(Event event) {
 
 void TraceRecorder::EmitSpan(const char *name, const char *category,
                              uint64_t ts_us, uint64_t dur_us, idx_t arg) {
+  FlightRecorder &flight = FlightRecorder::Global();
+  if (flight.enabled()) {
+    flight.Record(name, category, 'X', ts_us, dur_us, arg);
+  }
   if (!enabled()) {
     return;
   }
@@ -65,17 +71,27 @@ void TraceRecorder::EmitSpan(const char *name, const char *category,
 
 void TraceRecorder::EmitInstant(const char *name, const char *category,
                                 idx_t arg) {
+  uint64_t ts_us = NowMicros();
+  FlightRecorder &flight = FlightRecorder::Global();
+  if (flight.enabled()) {
+    flight.Record(name, category, 'i', ts_us, 0, arg);
+  }
   if (!enabled()) {
     return;
   }
-  Push(Event{name, category, 'i', CurrentTid(), NowMicros(), 0, arg});
+  Push(Event{name, category, 'i', CurrentTid(), ts_us, 0, arg});
 }
 
 void TraceRecorder::EmitCounter(const char *name, uint64_t value) {
+  uint64_t ts_us = NowMicros();
+  FlightRecorder &flight = FlightRecorder::Global();
+  if (flight.enabled()) {
+    flight.Record(name, "counter", 'C', ts_us, 0, value);
+  }
   if (!enabled()) {
     return;
   }
-  Push(Event{name, "counter", 'C', CurrentTid(), NowMicros(), 0, value});
+  Push(Event{name, "counter", 'C', CurrentTid(), ts_us, 0, value});
 }
 
 Json TraceRecorder::ToJson() const {

@@ -9,6 +9,7 @@
 #include "common/constants.h"
 #include "common/mutex.h"
 #include "common/status.h"
+#include "observe/flight_recorder.h"
 #include "observe/json.h"
 
 namespace ssagg {
@@ -26,6 +27,10 @@ namespace ssagg {
 ///
 /// Span names and categories must be string literals (or otherwise outlive
 /// the recorder): events store the pointers.
+///
+/// Every Emit* also feeds the always-on FlightRecorder (when that is
+/// enabled), so the last ~64k events stay recoverable even with file
+/// tracing off — see observe/flight_recorder.h.
 class TraceRecorder {
  public:
   TraceRecorder();
@@ -87,13 +92,14 @@ class TraceRecorder {
 };
 
 /// RAII span: records a complete event over its lifetime when the global
-/// recorder is enabled; a single relaxed load otherwise.
+/// recorder or the flight recorder is enabled; two relaxed loads otherwise.
+/// EmitSpan routes the event to whichever sinks are on.
 class TraceSpan {
  public:
   TraceSpan(const char *name, const char *category, idx_t arg = kInvalidIndex)
       : name_(name), category_(category), arg_(arg) {
     TraceRecorder &recorder = TraceRecorder::Global();
-    if (recorder.enabled()) {
+    if (recorder.enabled() || FlightRecorder::Global().enabled()) {
       recorder_ = &recorder;
       start_us_ = recorder.NowMicros();
     }

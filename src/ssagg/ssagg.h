@@ -38,10 +38,12 @@
 #include "execution/task_executor.h"
 #include "layout/partitioned_tuple_data.h"
 #include "layout/tuple_data_collection.h"
+#include "observe/flight_recorder.h"
 #include "observe/json.h"
 #include "observe/log.h"
 #include "observe/metrics.h"
 #include "observe/profile.h"
+#include "observe/progress.h"
 #include "observe/trace.h"
 #include "sort/external_sort_aggregate.h"
 #include "storage/data_table.h"

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "observe/flight_recorder.h"
+
 namespace ssagg {
 
 const char *FaultSiteName(FaultSite site) {
@@ -46,31 +48,39 @@ void FaultInjector::Reset(const Config &config) {
 }
 
 Status FaultInjector::Hit(FaultSite site) {
-  ScopedLock guard(lock_);
-  site_ops_[static_cast<idx_t>(site)]++;
-  if ((config_.site_mask & FaultSiteBit(site)) == 0) {
-    return Status::OK();
+  Status status;
+  {
+    ScopedLock guard(lock_);
+    site_ops_[static_cast<idx_t>(site)]++;
+    if ((config_.site_mask & FaultSiteBit(site)) == 0) {
+      return Status::OK();
+    }
+    idx_t op = ++armed_ops_;
+    bool fail = false;
+    if (config_.fail_at != 0 && op == config_.fail_at) {
+      fail = true;
+    }
+    // Always draw so the schedule depends only on the operation sequence,
+    // not on whether an earlier trigger already fired.
+    bool coin = config_.probability > 0.0 &&
+                rng_.NextDouble() < config_.probability;
+    fail = fail || coin;
+    if (!fail || (config_.one_shot && faults_ > 0)) {
+      return Status::OK();
+    }
+    faults_++;
+    std::string msg = std::string("injected ") + FaultSiteName(site) +
+                      " fault at operation #" + std::to_string(op);
+    if (site == FaultSite::kAllocate || site == FaultSite::kPin) {
+      status = Status::OutOfMemory(std::move(msg));
+    } else {
+      status = Status::IOError(std::move(msg));
+    }
   }
-  idx_t op = ++armed_ops_;
-  bool fail = false;
-  if (config_.fail_at != 0 && op == config_.fail_at) {
-    fail = true;
-  }
-  // Always draw so the schedule depends only on the operation sequence, not
-  // on whether an earlier trigger already fired.
-  bool coin = config_.probability > 0.0 &&
-              rng_.NextDouble() < config_.probability;
-  fail = fail || coin;
-  if (!fail || (config_.one_shot && faults_ > 0)) {
-    return Status::OK();
-  }
-  faults_++;
-  std::string msg = std::string("injected ") + FaultSiteName(site) +
-                    " fault at operation #" + std::to_string(op);
-  if (site == FaultSite::kAllocate || site == FaultSite::kPin) {
-    return Status::OutOfMemory(std::move(msg));
-  }
-  return Status::IOError(std::move(msg));
+  // Outside the lock: the dump walks every thread's flight ring and must
+  // not serialize (or deadlock against) concurrent Hit callers.
+  (void)FlightRecorder::Global().DumpAnomaly("fault");
+  return status;
 }
 
 idx_t FaultInjector::ops_seen() const {

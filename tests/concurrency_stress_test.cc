@@ -27,6 +27,7 @@
 #include "execution/collectors.h"
 #include "execution/range_source.h"
 #include "observe/metrics.h"
+#include "observe/progress.h"
 
 namespace ssagg {
 namespace {
@@ -151,16 +152,29 @@ TEST_F(ConcurrencyStressTest, ConcurrentAggregationsSharedPool) {
   constexpr idx_t kGroups = 512;
   BufferManager bm(dir_, 48 * kPageSize);
 
+  // Live introspection handles, polled from a foreign thread while the
+  // queries run: phase and row counts must only ever move forward.
+  std::array<QueryProgress, kQueries> progress;
+
   std::atomic<bool> stop{false};
   std::thread metrics_reader([&]() {
     MetricsRegistry &registry = MetricsRegistry::Global();
     uint64_t last = 0;
+    std::array<uint64_t, kQueries> last_rows{};
+    std::array<uint8_t, kQueries> last_phase{};
     while (!stop.load(std::memory_order_relaxed)) {
       auto snapshot = registry.Snapshot();
       uint64_t rows = snapshot.count("exec.rows") ? snapshot["exec.rows"] : 0;
       // Counters are monotonic; a backwards step means a torn read.
       EXPECT_GE(rows, last);
       last = rows;
+      for (idx_t q = 0; q < kQueries; q++) {
+        QueryProgress::Snapshot snap = progress[q].Poll();
+        EXPECT_GE(snap.rows_consumed, last_rows[q]);
+        EXPECT_GE(static_cast<uint8_t>(snap.phase), last_phase[q]);
+        last_rows[q] = snap.rows_consumed;
+        last_phase[q] = static_cast<uint8_t>(snap.phase);
+      }
       std::this_thread::yield();
     }
   });
@@ -186,7 +200,8 @@ TEST_F(ConcurrencyStressTest, ConcurrentAggregationsSharedPool) {
     HashAggregateConfig config;
     config.radix_bits = 2;
     auto stats = RunGroupedAggregation(bm, source, {0}, aggregates, collector,
-                                       executor, config);
+                                       executor, config, /*profile=*/nullptr,
+                                       &progress[qid]);
     if (!stats.ok() || collector.TotalRows() != kGroups ||
         stats.value().unique_groups != kGroups) {
       failures.fetch_add(1);
@@ -211,6 +226,11 @@ TEST_F(ConcurrencyStressTest, ConcurrentAggregationsSharedPool) {
       << errors[0] << " | " << errors[1] << " | " << errors[2];
   EXPECT_EQ(bm.PinnedBufferCount(), 0u) << "leaked pins";
   EXPECT_EQ(bm.temp_files().UsedSlots(), 0u) << "leaked temp slots";
+  for (idx_t q = 0; q < kQueries; q++) {
+    QueryProgress::Snapshot snap = progress[q].Poll();
+    EXPECT_EQ(snap.phase, QueryProgress::Phase::kDone);
+    EXPECT_EQ(snap.rows_consumed, kRows);
+  }
 }
 
 //===----------------------------------------------------------------------===//

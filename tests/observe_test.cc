@@ -8,20 +8,37 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "buffer/buffer_manager.h"
 #include "common/file_system.h"
+#include "common/hash.h"
+#include "common/mutex.h"
 #include "core/run_aggregation.h"
 #include "execution/collectors.h"
 #include "execution/range_source.h"
+#include "observe/flight_recorder.h"
 #include "observe/json.h"
 #include "observe/metrics.h"
 #include "observe/profile.h"
+#include "observe/progress.h"
 #include "observe/trace.h"
 
 namespace ssagg {
 namespace {
+
+Result<std::string> ReadWholeFile(const std::string &path) {
+  SSAGG_ASSIGN_OR_RETURN(
+      auto handle, FileSystem::Default().Open(path, FileOpenFlags{}));
+  SSAGG_ASSIGN_OR_RETURN(idx_t size, handle->FileSize());
+  std::string contents(size, '\0');
+  SSAGG_RETURN_NOT_OK(handle->Read(contents.data(), size, 0));
+  return contents;
+}
 
 // ---------------------------------------------------------------- metrics
 
@@ -340,6 +357,292 @@ TEST(QueryProfileTest, SpillCountersMatchTemporaryFileGroundTruth) {
                 ->Find("io.spill_bytes_written")
                 ->AsUint(),
             temp_files.BytesWritten());
+}
+
+// ------------------------------------------------------------- histograms
+
+TEST(HistogramTest, BucketMappingIsMonotoneAndContiguous) {
+  // Every reachable bucket's lower bound must map back into that bucket,
+  // and the bounds must tile the uint64 range without gaps or overlaps.
+  // Indexes above BucketIndex(~0) are unreachable (their lower bound would
+  // be >= 2^64) and report a saturated upper bound instead.
+  const idx_t last_bucket = HistogramSnapshot::BucketIndex(~uint64_t{0});
+  EXPECT_EQ(last_bucket + 5, HistogramSnapshot::kBuckets);
+  EXPECT_EQ(HistogramSnapshot::BucketUpperBound(last_bucket), ~uint64_t{0});
+  for (idx_t b = 0; b <= last_bucket; b++) {
+    uint64_t lower = HistogramSnapshot::BucketLowerBound(b);
+    EXPECT_EQ(HistogramSnapshot::BucketIndex(lower), b) << "bucket " << b;
+    if (b < last_bucket) {
+      EXPECT_EQ(HistogramSnapshot::BucketUpperBound(b),
+                HistogramSnapshot::BucketLowerBound(b + 1));
+      EXPECT_EQ(HistogramSnapshot::BucketIndex(
+                    HistogramSnapshot::BucketUpperBound(b) - 1),
+                b)
+          << "upper bound of bucket " << b << " is not inclusive";
+    }
+  }
+  // Monotone: a larger value never lands in a smaller bucket.
+  idx_t last = 0;
+  for (uint64_t v = 0; v < 100000; v += 17) {
+    idx_t bucket = HistogramSnapshot::BucketIndex(v);
+    EXPECT_GE(bucket, last);
+    last = bucket;
+  }
+  EXPECT_LT(HistogramSnapshot::BucketIndex(~uint64_t{0}),
+            HistogramSnapshot::kBuckets);
+}
+
+// The histogram shards must lose nothing under concurrency: the merged
+// snapshot is compared bucket-for-bucket against a mutex-protected
+// reference fed the exact same values.
+TEST(HistogramTest, ConcurrentRecordsMatchMutexedReference) {
+  MetricsRegistry registry;
+  idx_t hist = registry.HistogramId("test.latency_ns");
+  EXPECT_EQ(registry.HistogramId("test.latency_ns"), hist)
+      << "histogram ids must be stable";
+
+  Mutex ref_lock;
+  HistogramSnapshot reference;
+
+  constexpr idx_t kThreads = 8;
+  constexpr idx_t kRecords = 50000;
+  std::vector<std::thread> threads;
+  for (idx_t t = 0; t < kThreads; t++) {
+    threads.emplace_back([&registry, &ref_lock, &reference, hist, t]() {
+      HistogramSnapshot local;
+      for (idx_t i = 0; i < kRecords; i++) {
+        // Deterministic pseudo-random spread across many octaves.
+        uint64_t value = HashUint64(t * kRecords + i) >> (i % 48);
+        registry.Record(hist, value);
+        local.buckets[HistogramSnapshot::BucketIndex(value)]++;
+        local.count++;
+        local.sum += value;
+        local.max = std::max(local.max, value);
+      }
+      ScopedLock guard(ref_lock);
+      reference.Merge(local);
+    });
+  }
+  for (auto &thread : threads) {
+    thread.join();
+  }
+
+  HistogramSnapshot merged = registry.Histogram("test.latency_ns");
+  EXPECT_EQ(merged.count, reference.count);
+  EXPECT_EQ(merged.sum, reference.sum);
+  EXPECT_EQ(merged.max, reference.max);
+  for (idx_t b = 0; b < HistogramSnapshot::kBuckets; b++) {
+    EXPECT_EQ(merged.buckets[b], reference.buckets[b]) << "bucket " << b;
+  }
+  // Percentiles are ordered and bounded by the observed extremes.
+  EXPECT_LE(merged.Percentile(0.5), merged.Percentile(0.99));
+  EXPECT_LE(merged.Percentile(0.99), merged.max);
+  EXPECT_EQ(merged.Percentile(1.0), merged.max);
+}
+
+TEST(HistogramTest, PercentileInterpolatesWithinBucketError) {
+  MetricsRegistry registry;
+  idx_t hist = registry.HistogramId("test.uniform");
+  for (uint64_t v = 1; v <= 10000; v++) {
+    registry.Record(hist, v);
+  }
+  HistogramSnapshot snap = registry.Histogram("test.uniform");
+  EXPECT_EQ(snap.count, 10000u);
+  // Log-linear buckets are at most 25% wide, so every percentile of a
+  // uniform distribution must land within ~25% of the exact answer.
+  EXPECT_NEAR(static_cast<double>(snap.Percentile(0.5)), 5000.0, 1300.0);
+  EXPECT_NEAR(static_cast<double>(snap.Percentile(0.9)), 9000.0, 2300.0);
+  EXPECT_EQ(snap.Percentile(1.0), 10000u);
+}
+
+TEST(MetricsRegistryTest, RenderPrometheusExposesCountersAndHistograms) {
+  MetricsRegistry registry;
+  registry.Add(registry.KeyId("test.spills"), 5);
+  registry.Record("test.lat_ns", 100);
+  registry.Record("test.lat_ns", 200);
+  std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# TYPE ssagg_test_spills counter"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ssagg_test_spills 5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE ssagg_test_lat_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("ssagg_test_lat_ns_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("ssagg_test_lat_ns_sum 300"), std::string::npos);
+  EXPECT_NE(text.find("ssagg_test_lat_ns_count 2"), std::string::npos);
+}
+
+// -------------------------------------------------------- flight recorder
+
+TEST(FlightRecorderTest, RingWrapsAndDumpParsesAsChromeTrace) {
+  std::string dir = ::testing::TempDir() + "ssagg_flight_" +
+                    std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(FileSystem::Default().CreateDirectories(dir).ok());
+
+  FlightRecorder recorder;
+  recorder.SetDumpDirectory(dir);
+  // Overfill the ring threefold: only the newest kRingEvents may survive.
+  constexpr idx_t kTotal = 3 * FlightRecorder::kRingEvents;
+  for (idx_t i = 0; i < kTotal; i++) {
+    recorder.Record("wrap_event", "test", 'X', /*ts_us=*/i, /*dur_us=*/1,
+                    /*arg=*/i);
+  }
+  EXPECT_EQ(recorder.EventCount(), FlightRecorder::kRingEvents);
+
+  std::string path = recorder.DumpAnomaly("unit_test");
+  ASSERT_FALSE(path.empty());
+  auto contents = ReadWholeFile(path);
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  auto parsed = Json::Parse(contents.value());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  const Json *reason = parsed.value().Find("flightReason");
+  ASSERT_TRUE(reason != nullptr);
+  EXPECT_EQ(reason->AsString(), "unit_test");
+  const Json *events = parsed.value().Find("traceEvents");
+  ASSERT_TRUE(events != nullptr && events->IsArray());
+  ASSERT_EQ(events->elements().size(), FlightRecorder::kRingEvents);
+  // The retained window is exactly the newest events, in order.
+  uint64_t expected = kTotal - FlightRecorder::kRingEvents;
+  for (const Json &event : events->elements()) {
+    EXPECT_EQ(event.Find("name")->AsString(), "wrap_event");
+    EXPECT_EQ(event.Find("ph")->AsString(), "X");
+    EXPECT_EQ(event.Find("args")->Find("v")->AsUint(), expected);
+    expected++;
+  }
+
+  recorder.Clear();
+  EXPECT_EQ(recorder.EventCount(), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FlightRecorderTest, QueryErrorDumpsFlightRecording) {
+  std::string dir = ::testing::TempDir() + "ssagg_flight_err_" +
+                    std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(FileSystem::Default().CreateDirectories(dir).ok());
+  std::string temp_dir = dir + "/pool";
+  ASSERT_TRUE(FileSystem::Default().CreateDirectories(temp_dir).ok());
+
+  FlightRecorder &flight = FlightRecorder::Global();
+  std::string saved_dir = flight.dump_directory();
+  flight.SetDumpDirectory(dir);
+
+  // A source that fails mid-stream: RunGroupedAggregation must return the
+  // error AND leave a parseable flight dump behind.
+  BufferManager bm(temp_dir, 256 * kPageSize);
+  TaskExecutor executor(2);
+  RangeSource source({LogicalTypeId::kInt64, LogicalTypeId::kInt64}, 100000,
+                     [](DataChunk &chunk, idx_t start, idx_t count) {
+                       if (start > 20000) {
+                         return Status::IOError("synthetic source failure");
+                       }
+                       for (idx_t i = 0; i < count; i++) {
+                         auto row = static_cast<int64_t>(start + i);
+                         chunk.column(0).SetValue<int64_t>(i, row % 64);
+                         chunk.column(1).SetValue<int64_t>(i, row);
+                       }
+                       return Status::OK();
+                     });
+  CountingCollector collector;
+  QueryProgress progress;
+  auto stats = RunGroupedAggregation(bm, source, {0},
+                                     {{AggregateKind::kSum, 1}}, collector,
+                                     executor, {}, nullptr, &progress);
+  flight.SetDumpDirectory(saved_dir);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(progress.Poll().phase, QueryProgress::Phase::kFailed);
+
+  // Exactly the query_error dump, and it parses as Chrome trace JSON with
+  // real events in it (the flight recorder runs even without SSAGG_TRACE).
+  std::vector<std::string> dumps;
+  for (const auto &entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file()) {
+      dumps.push_back(entry.path().string());
+    }
+  }
+  ASSERT_EQ(dumps.size(), 1u);
+  EXPECT_NE(dumps[0].find("query_error"), std::string::npos) << dumps[0];
+  auto contents = ReadWholeFile(dumps[0]);
+  ASSERT_TRUE(contents.ok());
+  auto parsed = Json::Parse(contents.value());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Json *events = parsed.value().Find("traceEvents");
+  ASSERT_TRUE(events != nullptr && events->IsArray());
+  EXPECT_GT(events->elements().size(), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------- progress
+
+TEST(QueryProgressTest, MonotoneWhilePolledDuringSpillingQuery) {
+  std::string temp_dir = ::testing::TempDir() + "ssagg_progress_" +
+                         std::to_string(::getpid());
+  ASSERT_TRUE(FileSystem::Default().CreateDirectories(temp_dir).ok());
+  BufferManager bm(temp_dir, 160 * kPageSize);
+  TaskExecutor executor(2);
+  constexpr idx_t kRows = 2000000;
+  RangeSource source({LogicalTypeId::kInt64, LogicalTypeId::kInt64}, kRows,
+                     [](DataChunk &chunk, idx_t start, idx_t count) {
+                       for (idx_t i = 0; i < count; i++) {
+                         auto row = static_cast<int64_t>(start + i);
+                         chunk.column(0).SetValue<int64_t>(i, row);
+                         chunk.column(1).SetValue<int64_t>(i, row * 2);
+                       }
+                       return Status::OK();
+                     });
+  CountingCollector collector;
+  HashAggregateConfig config;
+  config.phase1_capacity = 1024;
+  config.radix_bits = 3;
+
+  QueryProgress progress;
+  std::atomic<bool> stop{false};
+  std::atomic<idx_t> polls{0};
+  std::thread poller([&]() {
+    uint64_t last_rows = 0;
+    uint8_t last_phase = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      QueryProgress::Snapshot snap = progress.Poll();
+      EXPECT_GE(snap.rows_consumed, last_rows) << "rows went backwards";
+      EXPECT_GE(static_cast<uint8_t>(snap.phase), last_phase)
+          << "phase went backwards";
+      double fraction = snap.Fraction();
+      EXPECT_GE(fraction, 0.0);
+      EXPECT_LE(fraction, 1.0);
+      last_rows = snap.rows_consumed;
+      last_phase = static_cast<uint8_t>(snap.phase);
+      polls.fetch_add(1);
+      std::this_thread::yield();
+    }
+  });
+
+  auto stats = RunGroupedAggregation(bm, source, {0},
+                                     {{AggregateKind::kSum, 1}}, collector,
+                                     executor, config, nullptr, &progress);
+  stop.store(true);
+  poller.join();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GT(polls.load(), 0u);
+
+  QueryProgress::Snapshot final_snap = progress.Poll();
+  EXPECT_EQ(final_snap.phase, QueryProgress::Phase::kDone);
+  EXPECT_EQ(final_snap.rows_consumed, kRows);
+  EXPECT_EQ(final_snap.estimated_total_rows, kRows);
+  EXPECT_GT(final_snap.estimated_groups, 0u) << "planner estimate missing";
+  EXPECT_GT(final_snap.bytes_spilled, 0u) << "query was expected to spill";
+  // The spilling query must surface nonzero spill-write latency tails.
+  auto it = final_snap.histograms.find("io.spill_write_latency_ns");
+  ASSERT_TRUE(it != final_snap.histograms.end())
+      << "spill write latency histogram missing from progress snapshot";
+  EXPECT_GT(it->second.count, 0u);
+  EXPECT_GT(it->second.Percentile(0.99), 0u);
+
+  // The snapshot serializes to parseable JSON.
+  auto parsed = Json::Parse(final_snap.ToJson().Dump(2));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().Find("rows_consumed")->AsUint(), kRows);
 }
 
 }  // namespace
